@@ -1,0 +1,77 @@
+// voltron-bench regenerates the paper's evaluation figures on the
+// simulated Voltron machine.
+//
+// Usage:
+//
+//	voltron-bench                 # all figures
+//	voltron-bench -fig 13         # one figure (3, 10, 11, 12, 13, 14)
+//	voltron-bench -fig 7          # the Figure 7-9 kernel speedups
+//	voltron-bench -bench cjpeg    # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voltron/internal/exp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (0 = all)")
+	bench := flag.String("bench", "", "restrict to one benchmark")
+	scaling := flag.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	flag.Parse()
+
+	s := exp.NewSuite()
+	if *bench != "" {
+		s.Benchmarks = []string{*bench}
+	}
+	emit := func(t *exp.Table) {
+		if *jsonOut {
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		t.Print(os.Stdout)
+	}
+	if *scaling {
+		tab, err := s.Scaling()
+		if err != nil {
+			fatal(err)
+		}
+		emit(tab)
+		return
+	}
+	figs := []int{3, 7, 10, 11, 12, 13, 14}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		if f >= 7 && f <= 9 {
+			res, err := exp.Fig7to9()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("Figures 7-9: kernel speedups on 2 cores (paper vs measured)")
+			for _, r := range res {
+				fmt.Printf("  %-22s paper %.2fx   measured %.2fx\n", r.Name, r.PaperSpeedup, r.Measured2Core)
+			}
+			fmt.Println()
+			continue
+		}
+		t, err := s.Figure(f)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voltron-bench:", err)
+	os.Exit(1)
+}

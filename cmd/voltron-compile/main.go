@@ -1,0 +1,78 @@
+// voltron-compile compiles a benchmark (or built-in kernel) and dumps the
+// per-core instruction streams for inspection.
+//
+// Usage:
+//
+//	voltron-compile -bench gsmdecode -cores 4 -strategy hybrid
+//	voltron-compile -kernel gsm-ilp -cores 2 -strategy ilp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voltron/internal/compiler"
+	"voltron/internal/exp"
+	"voltron/internal/ir"
+	"voltron/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see internal/workload)")
+	kernel := flag.String("kernel", "", "built-in kernel: gsm-llp, gzip-strands, gsm-ilp")
+	cores := flag.Int("cores", 2, "number of cores")
+	strategy := flag.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	flag.Parse()
+
+	var p *ir.Program
+	var err error
+	switch {
+	case *bench != "":
+		p, err = workload.Build(*bench)
+	case *kernel == "gsm-llp":
+		p = exp.GsmLLPKernel(16)
+	case *kernel == "gzip-strands":
+		p = exp.GzipStrandKernel(1024)
+	case *kernel == "gsm-ilp":
+		p = exp.GsmILPKernel(64)
+	default:
+		err = fmt.Errorf("need -bench or -kernel")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	strat := map[string]compiler.Strategy{
+		"serial": compiler.Serial, "ilp": compiler.ForceILP,
+		"ftlp": compiler.ForceFTLP, "llp": compiler.ForceLLP,
+		"hybrid": compiler.Hybrid,
+	}[*strategy]
+	cp, err := compiler.Compile(p, compiler.Options{Cores: *cores, Strategy: strat})
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range cp.Regions {
+		fmt.Printf("=== region %q mode=%v ===\n", r.Name, r.Mode)
+		for c := 0; c < cp.Cores; c++ {
+			fmt.Printf("--- core %d (%d insts) ---\n", c, len(r.Code[c]))
+			rev := map[int][]int64{}
+			for lbl, idx := range r.Labels[c] {
+				rev[idx] = append(rev[idx], lbl)
+			}
+			for i, in := range r.Code[c] {
+				for _, lbl := range rev[i] {
+					fmt.Printf("B%d:\n", lbl)
+				}
+				fmt.Printf("  %4d  %v\n", i, in)
+			}
+		}
+		if len(r.Fallback) > 0 {
+			fmt.Printf("--- fallback (%d insts) ---\n", len(r.Fallback))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voltron-compile:", err)
+	os.Exit(1)
+}

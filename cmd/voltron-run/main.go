@@ -1,0 +1,104 @@
+// voltron-run compiles one benchmark and simulates it, printing the cycle
+// breakdown and speedup over the single-core baseline.
+//
+// Usage:
+//
+//	voltron-run -bench gsmdecode -cores 4 -strategy hybrid
+//	voltron-run -bench 179.art -cores 2 -strategy ftlp -v
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/prof"
+	"voltron/internal/stats"
+	"voltron/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gsmdecode", "benchmark name (use -list)")
+	cores := flag.Int("cores", 4, "number of cores")
+	strategy := flag.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "per-core stall breakdown")
+	tracePath := flag.String("trace", "", "write a cycle-by-cycle issue trace to this file")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	strat, ok := map[string]compiler.Strategy{
+		"serial": compiler.Serial, "ilp": compiler.ForceILP,
+		"ftlp": compiler.ForceFTLP, "llp": compiler.ForceLLP,
+		"hybrid": compiler.Hybrid,
+	}[*strategy]
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	p, err := workload.Build(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	pr, err := prof.Collect(p)
+	if err != nil {
+		fatal(err)
+	}
+	run := func(s compiler.Strategy, n int, traced bool) *core.RunResult {
+		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr})
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.DefaultConfig(n)
+		if traced && *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w := bufio.NewWriter(f)
+			defer w.Flush()
+			cfg.Trace = w
+		}
+		res, err := core.New(cfg).Run(cp)
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+	base := run(compiler.Serial, 1, false)
+	res := run(strat, *cores, true)
+	fmt.Printf("%s on %d cores (%s): %d cycles, speedup %.2fx over 1-core (%d cycles)\n",
+		*bench, *cores, strat, res.TotalCycles,
+		float64(base.TotalCycles)/float64(res.TotalCycles), base.TotalCycles)
+	fmt.Printf("mode occupancy: %.0f%% coupled / %.0f%% decoupled; spawns=%d tm-conflicts=%d\n",
+		100*res.ModeFraction(stats.ModeCoupled), 100*res.ModeFraction(stats.ModeDecoupled),
+		res.Spawns, res.TMConflicts)
+	if *verbose {
+		for i := range res.Run.Cores {
+			c := &res.Run.Cores[i]
+			fmt.Printf("  core %d:", i)
+			for _, k := range stats.Kinds() {
+				if c.Cycles[k] > 0 {
+					fmt.Printf(" %s=%d", k, c.Cycles[k])
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  memory: L2 hits=%d misses=%d c2c=%d invalidations=%d writebacks=%d\n",
+			res.MemStats.L2Hits, res.MemStats.L2Misses, res.MemStats.C2CTransfers,
+			res.MemStats.Invalidations, res.MemStats.Writebacks)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voltron-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package voltron is a full reproduction of "Extending Multicore
+// Architectures to Exploit Hybrid Parallelism in Single-thread
+// Applications" (Zhong, Lieberman, Mahlke — HPCA 2007): the Voltron
+// dual-mode multicore architecture, its compiler, and the paper's entire
+// evaluation.
+//
+// The implementation lives under internal/:
+//
+//	isa       — HPL-PD-style VLIW ISA with the Voltron extensions
+//	ir        — compiler IR, CFG/dominator/loop/dependence analyses
+//	interp    — reference interpreter (golden semantics + profiling hooks)
+//	prof      — trip-count / carried-dependence / miss-rate profiles
+//	mem       — L1/L2 caches, MOESI snooping bus, transactional memory
+//	xnet      — dual-mode scalar operand network (direct + queue)
+//	core      — the machine: lock-step and decoupled execution
+//	compiler  — BUG, eBUG, DSWP, statistical DOALL, unrolling, selection
+//	workload  — the 25-benchmark synthetic suite
+//	exp       — harnesses regenerating every figure of the evaluation
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each figure under `go test -bench`.
+package voltron

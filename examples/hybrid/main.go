@@ -1,0 +1,56 @@
+// Hybrid execution across a whole benchmark: cjpeg's regions have
+// different characters (a DOALL color conversion, an ILP-rich DCT, a
+// branchy encoder), so the compiler picks a different technique — and the
+// machine a different execution mode — per region, switching between
+// coupled and decoupled execution at region boundaries (the behaviour
+// behind the paper's Figures 13 and 14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+	"voltron/internal/stats"
+	"voltron/internal/workload"
+)
+
+func main() {
+	p, err := workload.Build("cjpeg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := prof.Collect(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := run(p, pr, compiler.Serial, 1)
+	fmt.Println("cjpeg under each strategy (4 cores):")
+	for _, s := range []compiler.Strategy{compiler.ForceILP, compiler.ForceFTLP, compiler.ForceLLP, compiler.Hybrid} {
+		res := run(p, pr, s, 4)
+		fmt.Printf("  %-15s %7d cycles  speedup %.2fx", s, res.TotalCycles,
+			float64(base.TotalCycles)/float64(res.TotalCycles))
+		if s == compiler.Hybrid {
+			fmt.Printf("  (%.0f%% coupled / %.0f%% decoupled)",
+				100*res.ModeFraction(stats.ModeCoupled),
+				100*res.ModeFraction(stats.ModeDecoupled))
+		}
+		fmt.Println()
+	}
+	fmt.Println("hybrid beats every single technique: different regions want different parallelism.")
+}
+
+func run(p *ir.Program, pr *prof.Profile, s compiler.Strategy, cores int) *core.RunResult {
+	cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: s, Profile: pr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module voltron
+
+go 1.22

@@ -1,0 +1,233 @@
+package compiler
+
+import (
+	"fmt"
+
+	"voltron/internal/core"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+)
+
+// Strategy selects how regions are parallelized.
+type Strategy int
+
+// Strategies. The Force* strategies compile every region with one
+// parallelization technique (falling back to serial where it does not
+// apply) — used for the paper's per-technique evaluations (Figures 10/11).
+// Hybrid selects per region (paper §4.2, Figures 13/14). Serial compiles
+// everything for the master core only (the single-core baseline).
+const (
+	Serial Strategy = iota
+	ForceILP
+	ForceFTLP
+	ForceLLP
+	Hybrid
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Serial:
+		return "serial"
+	case ForceILP:
+		return "ilp"
+	case ForceFTLP:
+		return "fine-grain-tlp"
+	case ForceLLP:
+		return "llp"
+	case Hybrid:
+		return "hybrid"
+	}
+	return "strategy?"
+}
+
+// Options configures compilation.
+type Options struct {
+	Cores    int
+	Strategy Strategy
+	// Profile supplies trip counts, carried-dep observations and miss
+	// rates. When nil, a profile is collected automatically.
+	Profile *prof.Profile
+	// DSWPThreshold is the estimated-speedup gate for pipeline extraction
+	// (paper: 1.25).
+	DSWPThreshold float64
+	// DOALLTripThreshold is the minimum profiled trip count for
+	// speculative loop parallelization.
+	DOALLTripThreshold float64
+	// MissStallThreshold is the memory-boundedness gate that sends regions
+	// to decoupled strand execution (fraction of estimated time in misses).
+	MissStallThreshold float64
+	// DisableEBUGWeights turns eBUG into plain BUG for strand extraction
+	// (ablation).
+	DisableEBUGWeights bool
+	// ForcePredSend disables control-slice replication so branch
+	// conditions always travel over the network (ablation).
+	ForcePredSend bool
+	// StaticSelection makes Hybrid pick strategies from the static cycle
+	// estimator instead of by measurement (ablation; cheaper compiles).
+	StaticSelection bool
+}
+
+// withDefaults fills unset thresholds.
+func (o Options) withDefaults() Options {
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+	if o.DSWPThreshold == 0 {
+		o.DSWPThreshold = 1.25
+	}
+	if o.DOALLTripThreshold == 0 {
+		o.DOALLTripThreshold = 8
+	}
+	if o.MissStallThreshold == 0 {
+		o.MissStallThreshold = 0.15
+	}
+	return o
+}
+
+// Compile lowers a program for an n-core Voltron machine.
+func Compile(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
+	opts = opts.withDefaults()
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("compile %q: %w", p.Name, err)
+	}
+	// Classical cleanup (in place; idempotent and semantics-preserving, so
+	// repeated compiles of one program are fine and op-keyed profiles stay
+	// valid).
+	Optimize(p)
+	if opts.Profile == nil && opts.Strategy != Serial {
+		pr, err := prof.Collect(p)
+		if err != nil {
+			return nil, fmt.Errorf("profiling %q: %w", p.Name, err)
+		}
+		opts.Profile = pr
+	}
+	if opts.Cores > 1 && !opts.StaticSelection &&
+		(opts.Strategy == Hybrid || opts.Strategy == ForceILP || opts.Strategy == ForceFTLP) {
+		return compileMeasured(p, opts)
+	}
+	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
+	for _, r := range p.Regions {
+		cr, err := compileRegion(r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("region %q: %w", r.Name, err)
+		}
+		cp.Regions = append(cp.Regions, cr)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// compileMeasured performs region-by-region selection by measurement: each
+// region's candidate lowerings are simulated in an otherwise-serial program
+// and the candidate with the best region time wins (serial always
+// competes, so a technique is never applied where it hurts). For Hybrid the
+// candidates are every technique with statistical DOALL taken outright as
+// the most efficient parallelism (paper §4.2); for the Force* strategies
+// the single technique competes against serial only — the per-technique
+// bars of Figures 10/11.
+func compileMeasured(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
+	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
+	for _, r := range p.Regions {
+		cr, err := genSerial(r, opts.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("region %q: %w", r.Name, err)
+		}
+		cp.Regions = append(cp.Regions, cr)
+	}
+	machine := core.New(core.DefaultConfig(opts.Cores))
+	for i, r := range p.Regions {
+		small := opts.Profile != nil && opts.Profile.RegionOps != nil &&
+			r.ID < len(opts.Profile.RegionOps) && opts.Profile.RegionOps[r.ID] < minRegionOps
+		if small {
+			continue
+		}
+		if opts.Strategy == Hybrid {
+			if cr, ok, err := tryDOALL(r, opts); err != nil {
+				return nil, err
+			} else if ok {
+				cp.Regions[i] = cr
+				continue
+			}
+		}
+		var candidates []*core.CompiledRegion
+		if opts.Strategy == Hybrid || opts.Strategy == ForceILP {
+			if coupled, _, _, err := genCoupledCandidate(r, opts); err == nil {
+				candidates = append(candidates, coupled)
+			}
+		}
+		if opts.Strategy == Hybrid || opts.Strategy == ForceFTLP {
+			if ftlp, err := genFTLP(r, opts); err == nil {
+				candidates = append(candidates, ftlp)
+			}
+		}
+		bestCycles := int64(-1)
+		serial := cp.Regions[i]
+		if res, err := machine.Run(cp); err == nil {
+			bestCycles = res.RegionCycles[i]
+		}
+		best := serial
+		for _, cand := range candidates {
+			cp.Regions[i] = cand
+			res, err := machine.Run(cp)
+			if err != nil {
+				continue // a misbehaving candidate never wins
+			}
+			if bestCycles < 0 || res.RegionCycles[i] < bestCycles {
+				bestCycles = res.RegionCycles[i]
+				best = cand
+			}
+		}
+		cp.Regions[i] = best
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// compileRegion picks and applies a strategy for one region.
+func compileRegion(r *ir.Region, opts Options) (*core.CompiledRegion, error) {
+	if opts.Cores == 1 || opts.Strategy == Serial {
+		return genSerial(r, opts.Cores)
+	}
+	switch opts.Strategy {
+	case ForceILP:
+		return genILP(r, opts)
+	case ForceFTLP:
+		return genFTLP(r, opts)
+	case ForceLLP:
+		if cr, ok, err := tryDOALL(r, opts); err != nil {
+			return nil, err
+		} else if ok {
+			return cr, nil
+		}
+		return genSerial(r, opts.Cores)
+	case Hybrid:
+		return genHybrid(r, opts)
+	}
+	return nil, fmt.Errorf("unknown strategy %v", opts.Strategy)
+}
+
+// genSerial emits the region as a master-only decoupled thread — the
+// single-core baseline codegen, also used for regions a forced strategy
+// cannot parallelize and for DOALL serial fallbacks.
+func genSerial(r *ir.Region, width int) (*core.CompiledRegion, error) {
+	return GenDecoupled(r, uniform(r, 0), width)
+}
+
+// genFTLP extracts fine-grain TLP: DSWP when a loop pipelines profitably,
+// otherwise eBUG strands (paper §4.2's fine-grain path).
+func genFTLP(r *ir.Region, opts Options) (*core.CompiledRegion, error) {
+	gen := GenDecoupled
+	if opts.ForcePredSend {
+		gen = GenDecoupledPredSend
+	}
+	if part, est := tryDSWP(r, opts); part != nil && est >= opts.DSWPThreshold {
+		return gen(r, part, opts.Cores)
+	}
+	part := EBUG(r, opts)
+	return gen(r, part, opts.Cores)
+}

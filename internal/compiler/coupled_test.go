@@ -1,0 +1,184 @@
+package compiler
+
+import (
+	"testing"
+
+	"voltron/internal/core"
+	"voltron/internal/interp"
+	"voltron/internal/isa"
+)
+
+// blockLengths extracts per-core block extents of a compiled region.
+func blockLengths(cr *core.CompiledRegion, c int) map[int64]int {
+	type ext struct {
+		lbl int64
+		at  int
+	}
+	var exts []ext
+	for lbl, idx := range cr.Labels[c] {
+		exts = append(exts, ext{lbl, idx})
+	}
+	// insertion order irrelevant; sort by position.
+	for i := range exts {
+		for j := i + 1; j < len(exts); j++ {
+			if exts[j].at < exts[i].at {
+				exts[i], exts[j] = exts[j], exts[i]
+			}
+		}
+	}
+	out := map[int64]int{}
+	for i, e := range exts {
+		end := len(cr.Code[c])
+		if i+1 < len(exts) {
+			end = exts[i+1].at
+		}
+		out[e.lbl] = end - e.at
+	}
+	return out
+}
+
+func TestCoupledBlocksUniformAcrossCores(t *testing.T) {
+	// The DVLIW invariant: every block's schedule has identical length on
+	// every core (paper §3.2: "the schedule lengths of any given block are
+	// the same across all the cores").
+	for _, tc := range corpus {
+		p := tc.mk()
+		pr := mustProfile(t, p)
+		for _, cores := range []int{2, 4} {
+			for _, r := range p.Regions {
+				cr, _, _, err := genCoupledCandidate(r, Options{Cores: cores, Profile: pr}.withDefaults())
+				if err != nil {
+					t.Fatalf("%s/%s: %v", tc.name, r.Name, err)
+				}
+				ref := blockLengths(cr, 0)
+				for c := 1; c < cores; c++ {
+					got := blockLengths(cr, c)
+					for lbl, n := range ref {
+						if got[lbl] != n {
+							t.Fatalf("%s/%s: block %d length %d on core 0 vs %d on core %d",
+								tc.name, r.Name, lbl, n, got[lbl], c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCoupledPutGetStaticallyBalanced(t *testing.T) {
+	// Every PUT must have a matching same-cycle GET on the wire's other
+	// end. Statically: per block, per cycle offset, the PUT on core a
+	// toward direction d pairs with a GET on neighbor(a,d) from the
+	// opposite direction. The machine enforces this dynamically; here we
+	// check the emitted schedule directly.
+	p := progMultiRegion()
+	pr := mustProfile(t, p)
+	for _, r := range p.Regions {
+		cr, _, _, err := genCoupledCandidate(r, Options{Cores: 4, Profile: pr}.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(cr.Code[0])
+		for c := 1; c < 4; c++ {
+			if len(cr.Code[c]) != n {
+				t.Fatalf("core %d stream length %d != %d", c, len(cr.Code[c]), n)
+			}
+		}
+		top := topologyFor4()
+		for i := 0; i < n; i++ {
+			for c := 0; c < 4; c++ {
+				in := cr.Code[c][i]
+				if in.Op != isa.PUT {
+					continue
+				}
+				nb := top.Neighbor(c, in.Dir)
+				if nb < 0 {
+					t.Fatalf("PUT off mesh at core %d slot %d", c, i)
+				}
+				other := cr.Code[nb][i]
+				if other.Op != isa.GETOP || other.Dir != in.Dir.Opposite() {
+					t.Fatalf("slot %d: PUT on core %d unmatched (neighbor %d has %v)", i, c, nb, other)
+				}
+			}
+		}
+	}
+}
+
+func TestCoupledBranchesSimultaneous(t *testing.T) {
+	// BRs and HALTs appear at identical slots on every core.
+	p := progDiamond(16)
+	pr := mustProfile(t, p)
+	cr, _, _, err := genCoupledCandidate(p.Regions[0], Options{Cores: 2, Profile: pr}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cr.Code[0] {
+		a, b := cr.Code[0][i].Op, cr.Code[1][i].Op
+		if (a == isa.BR) != (b == isa.BR) {
+			t.Fatalf("slot %d: BR on one core only (%v vs %v)", i, a, b)
+		}
+		if (a == isa.HALT) != (b == isa.HALT) {
+			t.Fatalf("slot %d: HALT on one core only", i)
+		}
+	}
+}
+
+func TestCoupledRejectsWideGroups(t *testing.T) {
+	p := progCopyAdd(16)
+	if _, err := GenCoupled(p.Regions[0], uniform(p.Regions[0], 0), 8); err == nil {
+		t.Error("coupled group of 8 accepted (paper limits groups to 4)")
+	}
+}
+
+func TestCoupledManualPartitionCorrect(t *testing.T) {
+	// Stress: alternating partition through the coupled backend.
+	for _, tc := range corpus {
+		if tc.fpReduce {
+			continue
+		}
+		p := tc.mk()
+		golden, err := interp.Run(p, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := &core.CompiledProgram{Name: p.Name, Cores: 2, Src: p}
+		for _, r := range p.Regions {
+			cr, err := GenCoupled(r, manualSplit(r), 2)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, r.Name, err)
+			}
+			cp.Regions = append(cp.Regions, cr)
+		}
+		res, err := core.New(core.DefaultConfig(2)).Run(cp)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			addr, a, b, _ := golden.Mem.FirstDiff(res.Mem)
+			t.Fatalf("%s: coupled alternating partition wrong at %#x: %d vs %d", tc.name, addr, a, b)
+		}
+	}
+}
+
+// topologyFor4 avoids importing xnet in tests twice; mirrors the 2x2 mesh.
+type mesh4 struct{}
+
+func topologyFor4() mesh4 { return mesh4{} }
+
+func (mesh4) Neighbor(c int, d isa.Direction) int {
+	x, y := c%2, c/2
+	switch d {
+	case isa.East:
+		x++
+	case isa.West:
+		x--
+	case isa.North:
+		y--
+	case isa.South:
+		y++
+	}
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		return -1
+	}
+	return y*2 + x
+}

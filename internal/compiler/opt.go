@@ -1,0 +1,122 @@
+package compiler
+
+import (
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+)
+
+// Machine-independent cleanup run before strategy selection (the paper's
+// toolchain inherits these from Trimaran's classical optimizer):
+//
+//   - address-mode folding: a memory op whose base is `ADD x, #c` (or an
+//     `ADD x, movi-const`) absorbs the constant into its displacement,
+//     shortening every address chain by an op;
+//   - dead-code elimination: side-effect-free ops whose value is never
+//     consumed disappear (mostly folding residue).
+//
+// Both passes are semantics-preserving and idempotent; Compile applies them
+// in place (op identities survive, so profiles keyed by op remain valid —
+// DCE only deletes ops that, being dead, carry no profile anyway).
+
+// Optimize runs the cleanup passes over every region of the program.
+func Optimize(p *ir.Program) {
+	for _, r := range p.Regions {
+		optimizeRegion(r)
+	}
+}
+
+func optimizeRegion(r *ir.Region) {
+	foldAddressing(r)
+	eliminateDeadCode(r)
+}
+
+// foldAddressing rewrites mem[ADD(x, #c) + imm] into mem[x + imm+c], and
+// mem[ADD(x, y) + imm] with y a single-def MOVI into mem[x + imm+MOVI].
+// Only single-def bases whose definition dominates the memory op are
+// touched (multi-def values have no stable decomposition).
+func foldAddressing(r *ir.Region) {
+	defs := map[ir.Value][]*ir.Op{}
+	for _, o := range r.AllOps() {
+		if o.Dst != ir.NoValue {
+			defs[o.Dst] = append(defs[o.Dst], o)
+		}
+	}
+	dom := r.Dominators()
+	singleDef := func(v ir.Value) *ir.Op {
+		if ds := defs[v]; len(ds) == 1 {
+			return ds[0]
+		}
+		return nil
+	}
+	dominates := func(d, use *ir.Op) bool {
+		if d.Blk == use.Blk {
+			return opPos(d.Blk, d) < opPos(use.Blk, use)
+		}
+		return dom.Dominates(d.Blk, use.Blk)
+	}
+	for _, b := range r.Blocks {
+		for _, o := range b.Ops {
+			if !o.Code.IsMemory() {
+				continue
+			}
+			for depth := 0; depth < 8; depth++ {
+				d := singleDef(o.Args[0])
+				if d == nil || d.Code != isa.ADD || !dominates(d, o) {
+					break
+				}
+				switch {
+				case d.Args[1] == ir.NoValue:
+					// base = x + #c
+					o.Args[0] = d.Args[0]
+					o.Imm += d.Imm
+				default:
+					// base = x + y: fold whichever side is a constant.
+					if m := singleDef(d.Args[1]); m != nil && m.Code == isa.MOVI && dominates(m, o) {
+						o.Args[0] = d.Args[0]
+						o.Imm += m.Imm
+					} else if m := singleDef(d.Args[0]); m != nil && m.Code == isa.MOVI && dominates(m, o) {
+						o.Args[0] = d.Args[1]
+						o.Imm += m.Imm
+					} else {
+						depth = 8
+					}
+				}
+			}
+		}
+	}
+}
+
+// eliminateDeadCode removes pure ops whose results are never consumed,
+// iterating until stable (removing one op can orphan its inputs).
+func eliminateDeadCode(r *ir.Region) {
+	for {
+		used := map[ir.Value]bool{}
+		for _, b := range r.Blocks {
+			if b.Kind == ir.CondBr {
+				used[b.Cond] = true
+			}
+			for _, o := range b.Ops {
+				for _, u := range o.Uses() {
+					used[u] = true
+				}
+			}
+		}
+		removed := false
+		for _, b := range r.Blocks {
+			kept := b.Ops[:0]
+			for _, o := range b.Ops {
+				dead := o.Dst != ir.NoValue && !used[o.Dst] &&
+					!o.Code.IsMemory() && !o.Code.IsComm() && !o.Code.IsBranch()
+				if dead {
+					removed = true
+					continue
+				}
+				kept = append(kept, o)
+			}
+			b.Ops = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package compiler
+
+import (
+	"testing"
+
+	"voltron/internal/interp"
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+)
+
+func countOps(r *ir.Region) int { return len(r.AllOps()) }
+
+func TestFoldAddressingAbsorbsConstants(t *testing.T) {
+	p := ir.NewProgram("fold")
+	a := p.Array("a", 16)
+	out := p.Array("out", 4)
+	r := p.Region("r")
+	b := r.NewBlock()
+	base := b.AddrOf(a) // MOVI base
+	// load a[3] via base + (1+2)*8 computed in stages.
+	t1 := b.AddI(base, 8)
+	t2 := b.AddI(t1, 16)
+	v := b.Load(a, t2, 0)
+	b.Store(out, b.AddrOf(out), 0, v)
+	b.ExitRegion()
+	r.Seal()
+	golden, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countOps(r)
+	optimizeRegion(r)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("optimized region invalid: %v", err)
+	}
+	after := countOps(r)
+	if after >= before {
+		t.Errorf("optimization removed nothing: %d -> %d ops", before, after)
+	}
+	// The load's displacement absorbed the adds.
+	var load *ir.Op
+	for _, o := range r.AllOps() {
+		if o.Code == isa.LOAD {
+			load = o
+		}
+	}
+	if load.Imm != 24 {
+		t.Errorf("load displacement = %d, want 24", load.Imm)
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mem.Equal(golden.Mem) {
+		t.Fatal("folding changed semantics")
+	}
+}
+
+func TestDCERemovesUnusedChains(t *testing.T) {
+	p := ir.NewProgram("dce")
+	out := p.Array("out", 1)
+	r := p.Region("r")
+	b := r.NewBlock()
+	keep := b.MovI(5)
+	dead1 := b.MovI(9)
+	dead2 := b.MulI(dead1, 3) // consumes dead1, itself unused
+	_ = dead2
+	b.Store(out, b.AddrOf(out), 0, keep)
+	b.ExitRegion()
+	r.Seal()
+	optimizeRegion(r)
+	for _, o := range r.AllOps() {
+		if o.Dst == dead1 || o.Dst == dead2 {
+			t.Errorf("dead op %v survived", o)
+		}
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.LoadW(out.Base) != 5 {
+		t.Error("DCE broke the live computation")
+	}
+}
+
+func TestDCEKeepsConditionsAndStores(t *testing.T) {
+	p := progDiamond(8)
+	r := p.Regions[0]
+	before, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimizeRegion(r)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Mem.Equal(after.Mem) {
+		t.Fatal("optimization changed branchy semantics")
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	for _, tc := range corpus {
+		p := tc.mk()
+		Optimize(p)
+		count1 := 0
+		for _, r := range p.Regions {
+			count1 += countOps(r)
+		}
+		Optimize(p)
+		count2 := 0
+		for _, r := range p.Regions {
+			count2 += countOps(r)
+		}
+		if count1 != count2 {
+			t.Errorf("%s: second Optimize changed op count %d -> %d", tc.name, count1, count2)
+		}
+		if err := p.Verify(); err != nil {
+			t.Errorf("%s: optimized program invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestOptimizePreservesWholeCorpus(t *testing.T) {
+	for _, tc := range corpus {
+		ref := tc.mk()
+		golden, err := interp.Run(ref, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := tc.mk()
+		Optimize(opt)
+		res, err := interp.Run(opt, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			t.Errorf("%s: optimization changed semantics", tc.name)
+		}
+	}
+}
+
+func TestFoldAddressingMultiDefBaseUntouched(t *testing.T) {
+	// A base with two defs (loop-varying address) must not fold.
+	p := progCarried(16)
+	r := p.Regions[0]
+	var loadBefore int64
+	for _, o := range r.AllOps() {
+		if o.Code == isa.LOAD {
+			loadBefore = o.Imm
+		}
+	}
+	optimizeRegion(r)
+	for _, o := range r.AllOps() {
+		if o.Code == isa.LOAD {
+			// The base chain is add(base, shl(i,3)) — the MOVI base is
+			// single-def so one fold is legal; beyond that the iv-varying
+			// part must stay symbolic. Semantics check:
+			_ = o
+		}
+	}
+	_ = loadBefore
+	golden, err := interp.Run(progCarried(16), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mem.Equal(golden.Mem) {
+		t.Fatal("folding broke the loop-varying address")
+	}
+}
+
+func TestFallthroughEliminatesJumpBranches(t *testing.T) {
+	// A diamond's then-arm jumps to the join, which is next in layout for
+	// one arm: the serial stream must contain fewer BRs than a naive
+	// two-per-conditional + one-per-jump emission.
+	p := progDiamond(8)
+	cp, err := Compile(p, Options{Cores: 1, Strategy: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brs := 0
+	jumps := 0
+	for _, r := range p.Regions[0].Blocks {
+		switch r.Kind {
+		case ir.Jump:
+			jumps++
+		case ir.CondBr:
+			brs++
+		}
+	}
+	emitted := 0
+	for _, in := range cp.Regions[0].Code[0] {
+		if in.Op == isa.BR {
+			emitted++
+		}
+	}
+	naive := jumps + 2*brs
+	if emitted >= naive {
+		t.Errorf("emitted %d BRs, naive would be %d — no fall-through elimination", emitted, naive)
+	}
+}

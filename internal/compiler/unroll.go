@@ -1,0 +1,216 @@
+package compiler
+
+import (
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+	"voltron/internal/prof"
+)
+
+// Loop unrolling for coupled-mode ILP (the enabling transform the paper's
+// Trimaran toolchain applies before multicluster partitioning): a canonical
+// counted loop's single-block body is replicated `factor` times with
+// iteration-private temporaries renamed, exposing cross-iteration ILP that
+// BUG can spread over the lock-step cores. Cross-iteration recurrences
+// (accumulators, pointer chases) are left un-renamed, which serializes
+// exactly the copies that must serialize. Only exact unrolls are performed
+// (the trip count divides the factor), so no epilogue loop is needed.
+
+// unrollForILP returns an unrolled clone of the region plus a profile
+// translated to the clone's ops, or ok=false when no loop qualifies.
+func unrollForILP(r *ir.Region, pr *prof.Profile, factor int) (*ir.Region, *prof.Profile, bool) {
+	if factor < 2 {
+		return nil, nil, false
+	}
+	clone, _ := r.Clone()
+	var target *ir.Loop
+	for _, l := range clone.Loops() {
+		if unrollable(l) {
+			total := tripTotal(l.Induction)
+			if total%int64(factor) == 0 && total >= 2*int64(factor) {
+				target = l
+				break
+			}
+		}
+	}
+	if target == nil {
+		return nil, nil, false
+	}
+	body := target.Latches[0]
+	iv := target.Induction
+	renameable := renameableValues(clone, body, iv)
+	// srcOf maps every emitted body op to the body op it was copied from
+	// (profile translation).
+	srcOf := map[*ir.Op]*ir.Op{}
+	orig := body.Ops
+	body.Ops = nil
+	for k := 0; k < factor; k++ {
+		ivK := iv.Val
+		if k > 0 {
+			ivK = clone.NewValue(isa.RegGPR)
+			add := clone.NewOp(isa.ADD)
+			add.Args[0] = iv.Val
+			add.Imm = int64(k) * iv.Step
+			add.Dst = ivK
+			add.Blk = body
+			body.Ops = append(body.Ops, add)
+			srcOf[add] = iv.Update // runs as often as the update did
+		}
+		rename := map[ir.Value]ir.Value{}
+		for _, o := range orig {
+			if o == iv.Update {
+				continue // re-emitted once at the end with the scaled step
+			}
+			no := clone.NewOp(o.Code)
+			no.Imm, no.F, no.Obj = o.Imm, o.F, o.Obj
+			for ai, u := range o.Args {
+				switch {
+				case u == ir.NoValue:
+				case u == iv.Val:
+					no.Args[ai] = ivK
+				default:
+					if nv, ok := rename[u]; ok {
+						no.Args[ai] = nv
+					} else {
+						no.Args[ai] = u
+					}
+				}
+			}
+			if o.Dst != ir.NoValue {
+				if k > 0 && renameable[o.Dst] {
+					nv, ok := rename[o.Dst]
+					if !ok {
+						nv = clone.NewValue(clone.ValueClass(o.Dst))
+						rename[o.Dst] = nv
+					}
+					no.Dst = nv
+				} else {
+					no.Dst = o.Dst
+				}
+			}
+			no.Blk = body
+			body.Ops = append(body.Ops, no)
+			srcOf[no] = o
+		}
+	}
+	upd := clone.NewOp(iv.Update.Code)
+	upd.Args[0] = iv.Val
+	upd.Imm = iv.Update.Imm * int64(factor)
+	upd.Dst = iv.Val
+	upd.Blk = body
+	body.Ops = append(body.Ops, upd)
+	srcOf[upd] = iv.Update
+	return clone, translateProfile(r, clone, pr, target.Blocks, srcOf, factor), true
+}
+
+// tripTotal computes the iteration count of a canonical induction.
+func tripTotal(iv *ir.InductionVar) int64 {
+	return (iv.LimitImm - iv.InitOp.Imm) / iv.Step
+}
+
+// unrollable checks the canonical shape: {header, single-latch body},
+// detected induction with immediate bounds, the update in the body, and a
+// body small enough that replication will not blow the I-cache.
+func unrollable(l *ir.Loop) bool {
+	if len(l.Blocks) != 2 || len(l.Latches) != 1 || l.Induction == nil {
+		return false
+	}
+	iv := l.Induction
+	if iv.Limit != ir.NoValue || iv.InitOp == nil || iv.Step <= 0 {
+		return false
+	}
+	body := l.Latches[0]
+	return iv.Update.Blk == body && body != l.Header && len(body.Ops) <= 32
+}
+
+// renameableValues finds iteration-private temporaries: defined in the
+// body, never read before their def within an iteration, and never used
+// outside the body (including as branch conditions elsewhere).
+func renameableValues(r *ir.Region, body *ir.Block, iv *ir.InductionVar) map[ir.Value]bool {
+	defPos := map[ir.Value]int{}
+	for i, o := range body.Ops {
+		if o.Dst != ir.NoValue {
+			if _, seen := defPos[o.Dst]; !seen {
+				defPos[o.Dst] = i
+			}
+		}
+	}
+	out := map[ir.Value]bool{}
+	for v, dp := range defPos {
+		if v == iv.Val {
+			continue
+		}
+		ok := true
+		for _, b := range r.Blocks {
+			for i, o := range b.Ops {
+				for _, u := range o.Uses() {
+					if u != v {
+						continue
+					}
+					if b != body || i < dp {
+						ok = false
+					}
+				}
+			}
+			if b.Kind == ir.CondBr && b.Cond == v {
+				ok = false
+			}
+		}
+		if ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// translateProfile produces a profile keyed by the clone's ops: body copies
+// inherit their source op's miss rate with execution counts divided by the
+// factor; untouched blocks map positionally (the clone preserves ids).
+func translateProfile(orig, clone *ir.Region, pr *prof.Profile, loopBlocks map[int]bool, srcOf map[*ir.Op]*ir.Op, factor int) *prof.Profile {
+	if pr == nil {
+		return nil
+	}
+	npr := &prof.Profile{
+		TripCount:  map[*ir.Block]float64{},
+		CarriedDep: map[*ir.Block]bool{},
+		MissRate:   map[*ir.Op]float64{},
+		ExecCount:  map[*ir.Op]int64{},
+		BlockCount: map[*ir.Block]int64{},
+		RegionOps:  pr.RegionOps,
+	}
+	origOpsByID := map[int]*ir.Op{}
+	for _, o := range orig.AllOps() {
+		origOpsByID[o.ID] = o
+	}
+	origBlockByID := map[int]*ir.Block{}
+	for _, b := range orig.Blocks {
+		origBlockByID[b.ID] = b
+	}
+	for _, b := range clone.Blocks {
+		ob := origBlockByID[b.ID]
+		cnt := pr.BlockCount[ob]
+		if loopBlocks[b.ID] {
+			cnt /= int64(factor)
+		}
+		npr.BlockCount[b] = cnt
+		if pr.CarriedDep[ob] {
+			npr.CarriedDep[b] = true
+		}
+		if t, ok := pr.TripCount[ob]; ok {
+			if loopBlocks[b.ID] {
+				t /= float64(factor)
+			}
+			npr.TripCount[b] = t
+		}
+		for _, o := range b.Ops {
+			if src, ok := srcOf[o]; ok {
+				origSrc := origOpsByID[src.ID]
+				npr.MissRate[o] = pr.MissRate[origSrc]
+				npr.ExecCount[o] = pr.ExecCount[origSrc] / int64(factor)
+			} else if oo, ok := origOpsByID[o.ID]; ok {
+				npr.MissRate[o] = pr.MissRate[oo]
+				npr.ExecCount[o] = pr.ExecCount[oo]
+			}
+		}
+	}
+	return npr
+}

@@ -1,0 +1,170 @@
+package compiler
+
+import (
+	"testing"
+
+	"voltron/internal/core"
+	"voltron/internal/interp"
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+	"voltron/internal/mem"
+	"voltron/internal/prof"
+)
+
+// buildUnrollable: for i in [0,32): dst[i] = src[i]*3 + 1; acc += src[i]
+func buildUnrollable(n int64) (*ir.Program, ir.Value) {
+	p := ir.NewProgram("unroll")
+	src := p.Array("src", n)
+	dst := p.Array("dst", n)
+	out := p.Array("out", 1)
+	for i := int64(0); i < n; i++ {
+		p.SetInit(src, i, i+1)
+	}
+	r := p.Region("loop")
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	db := pre.AddrOf(dst)
+	acc := pre.MovI(0)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.Load(src, b.Add(sb, off), 0)
+		b.Store(dst, b.Add(db, off), 0, b.AddI(b.MulI(v, 3), 1))
+		b.Accum(isa.ADD, acc, v)
+		return b
+	})
+	ob := after.AddrOf(out)
+	after.Store(out, ob, 0, acc)
+	after.ExitRegion()
+	r.Seal()
+	return p, acc
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	for _, factor := range []int{2, 4} {
+		p, _ := buildUnrollable(32)
+		golden, err := interp.Run(p, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := prof.Collect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.Regions[0]
+		clone, _, ok := unrollForILP(r, pr, factor)
+		if !ok {
+			t.Fatalf("factor %d: loop not unrolled", factor)
+		}
+		if err := clone.Verify(); err != nil {
+			t.Fatalf("factor %d: unrolled region invalid: %v", factor, err)
+		}
+		// Interpret the unrolled region standalone (on a fresh memory image
+		// of the same layout) and compare against the original semantics.
+		p2 := &ir.Program{Name: "check", Arrays: p.Arrays, Init: p.Init}
+		clone.Program = p2
+		p2.Regions = append(p2.Regions, clone)
+		res2, err := interp.Run(p2, interp.Options{Mem: mem.NewFlatFor(p)})
+		if err != nil {
+			t.Fatalf("factor %d: interp of unrolled: %v", factor, err)
+		}
+		if !golden.Mem.Equal(res2.Mem) {
+			addr, a, b, _ := golden.Mem.FirstDiff(res2.Mem)
+			t.Fatalf("factor %d: unrolled semantics differ at %#x: %d vs %d", factor, addr, a, b)
+		}
+	}
+}
+
+func TestUnrollBodyStructure(t *testing.T) {
+	p, _ := buildUnrollable(32)
+	pr, _ := prof.Collect(p)
+	r := p.Regions[0]
+	origBodyLen := len(r.Blocks[2].Ops)
+	clone, npr, ok := unrollForILP(r, pr, 4)
+	if !ok {
+		t.Fatal("not unrolled")
+	}
+	body := clone.Blocks[2]
+	// 4 copies minus the shared iv update, plus 3 per-copy iv adds, plus
+	// the final scaled update.
+	want := 4*(origBodyLen-1) + 3 + 1
+	if len(body.Ops) != want {
+		t.Errorf("unrolled body has %d ops, want %d", len(body.Ops), want)
+	}
+	// Induction update is last and scaled by the factor.
+	last := body.Ops[len(body.Ops)-1]
+	if last.Code != isa.ADD || last.Imm != 4 {
+		t.Errorf("scaled induction update = %v (imm %d), want ADD imm 4", last, last.Imm)
+	}
+	// The translated profile halves... quarters the body execution counts.
+	var origLoad, newLoad *ir.Op
+	for _, o := range r.Blocks[2].Ops {
+		if o.Code == isa.LOAD {
+			origLoad = o
+		}
+	}
+	for _, o := range body.Ops {
+		if o.Code == isa.LOAD {
+			newLoad = o
+			break
+		}
+	}
+	if npr.ExecCount[newLoad] != pr.ExecCount[origLoad]/4 {
+		t.Errorf("translated exec count = %d, want %d", npr.ExecCount[newLoad], pr.ExecCount[origLoad]/4)
+	}
+}
+
+func TestUnrollRejectsNonCanonical(t *testing.T) {
+	// Trip count not divisible by the factor.
+	p, _ := buildUnrollable(30)
+	pr, _ := prof.Collect(p)
+	if _, _, ok := unrollForILP(p.Regions[0], pr, 4); ok {
+		t.Error("30 iterations unrolled by 4 (no epilogue support)")
+	}
+	if _, _, ok := unrollForILP(p.Regions[0], pr, 2); !ok {
+		t.Error("30 iterations should unroll by 2")
+	}
+	// A loop with internal control flow must be rejected.
+	p2 := ir.NewProgram("diamondloop")
+	a := p2.Array("a", 32)
+	r := p2.Region("r")
+	pre := r.NewBlock()
+	base := pre.AddrOf(a)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: 32, Step: 1}, func(body *ir.Block, i ir.Value) *ir.Block {
+		off := body.ShlI(i, 3)
+		v := body.Load(a, body.Add(base, off), 0)
+		c := body.CmpLTI(v, 5)
+		then := r.NewBlock()
+		join := r.NewBlock()
+		then.Store(a, then.Add(then.AddrOf(a), off), 0, then.MovI(9))
+		then.JumpTo(join)
+		body.BranchIf(c, then, join)
+		return join
+	})
+	after.ExitRegion()
+	r.Seal()
+	pr2, _ := prof.Collect(p2)
+	if _, _, ok := unrollForILP(p2.Regions[0], pr2, 2); ok {
+		t.Error("multi-block loop body unrolled")
+	}
+}
+
+func TestUnrolledCoupledEndToEnd(t *testing.T) {
+	p, _ := buildUnrollable(32)
+	golden, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{2, 4} {
+		cp, err := Compile(p, Options{Cores: cores, Strategy: ForceILP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			t.Fatalf("%d cores: unrolled coupled execution wrong", cores)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package core implements the Voltron machine: single-issue VLIW cores on a
+// mesh, executing compiled per-core instruction streams in coupled
+// (lock-step, direct-mode network, stall bus) or decoupled (fine-grain
+// threads, queue-mode network, SPAWN/SLEEP) mode, over the coherent memory
+// hierarchy of package mem, with full cycle accounting (package stats).
+package core
+
+import (
+	"fmt"
+
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+	"voltron/internal/mem"
+	"voltron/internal/stats"
+)
+
+// Mode is a region's execution mode.
+type Mode int
+
+// Execution modes. DOALL is decoupled execution with transactional chunk
+// framing and a serial fallback on violation.
+const (
+	Coupled Mode = iota
+	Decoupled
+	DOALL
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Coupled:
+		return "coupled"
+	case Decoupled:
+		return "decoupled"
+	case DOALL:
+		return "doall"
+	}
+	return "mode?"
+}
+
+// StatsMode maps the execution mode to the two-way occupancy accounting of
+// the paper's Figure 14 (DOALL runs decoupled).
+func (m Mode) StatsMode() stats.Mode {
+	if m == Coupled {
+		return stats.ModeCoupled
+	}
+	return stats.ModeDecoupled
+}
+
+// CompiledRegion is the per-core machine code for one region.
+type CompiledRegion struct {
+	Name string
+	Mode Mode
+	// Code is each core's instruction stream.
+	Code [][]isa.Inst
+	// Labels maps logical block ids to instruction indices, per core. PBR
+	// and SPAWN name logical blocks; cores resolve them in their own
+	// stream ("same logical target, different physical block").
+	Labels []map[int64]int
+	// Entry is the start index per core (conventionally 0).
+	Entry []int
+	// StartAwake marks cores that begin executing at Entry. In coupled
+	// mode all cores must start awake; in decoupled mode typically only
+	// the master (core 0) does, and it SPAWNs the others.
+	StartAwake []bool
+	// TxCores is the number of cores that execute a transaction in a DOALL
+	// region (the commit barrier width). Zero for non-DOALL regions.
+	TxCores int
+	// Fallback is the serial single-core code re-executed from rolled-back
+	// memory state when a DOALL region detects a dependence violation.
+	Fallback []isa.Inst
+	// FallbackLabels resolves logical blocks in the fallback stream.
+	FallbackLabels map[int64]int
+}
+
+// Validate checks structural consistency of the compiled region against a
+// machine width.
+func (cr *CompiledRegion) Validate(cores int) error {
+	if len(cr.Code) != cores || len(cr.Labels) != cores ||
+		len(cr.Entry) != cores || len(cr.StartAwake) != cores {
+		return fmt.Errorf("region %q: per-core tables sized %d/%d/%d/%d, want %d",
+			cr.Name, len(cr.Code), len(cr.Labels), len(cr.Entry), len(cr.StartAwake), cores)
+	}
+	for c := 0; c < cores; c++ {
+		if len(cr.Code[c]) == 0 && cr.StartAwake[c] {
+			return fmt.Errorf("region %q: core %d awake with empty code", cr.Name, c)
+		}
+		if cr.StartAwake[c] && (cr.Entry[c] < 0 || cr.Entry[c] >= len(cr.Code[c])) {
+			return fmt.Errorf("region %q: core %d entry %d out of range", cr.Name, c, cr.Entry[c])
+		}
+		for i, in := range cr.Code[c] {
+			if in.Op == isa.PBR || in.Op == isa.SPAWN {
+				target := c
+				if in.Op == isa.SPAWN {
+					target = in.Core
+				}
+				if target < 0 || target >= cores {
+					return fmt.Errorf("region %q core %d inst %d: bad target core %d", cr.Name, c, i, target)
+				}
+				if _, ok := cr.Labels[target][in.Imm]; !ok {
+					return fmt.Errorf("region %q core %d inst %d (%v): unresolved label B%d on core %d",
+						cr.Name, c, i, in, in.Imm, target)
+				}
+			}
+		}
+	}
+	if cr.Mode == Coupled {
+		for c := 0; c < cores; c++ {
+			if !cr.StartAwake[c] {
+				return fmt.Errorf("region %q: coupled mode requires all cores awake", cr.Name)
+			}
+		}
+	}
+	if cr.Mode == DOALL && cr.TxCores > 0 && len(cr.Fallback) == 0 {
+		return fmt.Errorf("region %q: DOALL region without serial fallback", cr.Name)
+	}
+	return nil
+}
+
+// CompiledProgram is a fully lowered workload: one compiled region per IR
+// region, plus the source program for memory-image construction.
+type CompiledProgram struct {
+	Name    string
+	Cores   int
+	Regions []*CompiledRegion
+	// Src provides the data layout and initial memory image.
+	Src *ir.Program
+}
+
+// Validate checks all regions.
+func (cp *CompiledProgram) Validate() error {
+	for _, r := range cp.Regions {
+		if err := r.Validate(cp.Cores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewMemory builds the initial memory image for a run.
+func (cp *CompiledProgram) NewMemory() *mem.Flat { return mem.NewFlatFor(cp.Src) }

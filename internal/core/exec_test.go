@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"voltron/internal/isa"
+)
+
+func validRegion(cores int) *CompiledRegion {
+	cr := &CompiledRegion{Name: "r", Mode: Decoupled}
+	for c := 0; c < cores; c++ {
+		a := newAsm()
+		if c == 0 {
+			a.emit(isa.Inst{Op: isa.HALT})
+		} else {
+			a.label(int64(100 + c))
+			a.emit(isa.Inst{Op: isa.SLEEP})
+		}
+		cr.Code = append(cr.Code, a.code)
+		cr.Labels = append(cr.Labels, a.labels)
+		cr.Entry = append(cr.Entry, 0)
+		cr.StartAwake = append(cr.StartAwake, c == 0)
+	}
+	return cr
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := validRegion(2).Validate(2); err != nil {
+		t.Errorf("valid region rejected: %v", err)
+	}
+}
+
+func TestValidateTableSizes(t *testing.T) {
+	cr := validRegion(2)
+	cr.Entry = cr.Entry[:1]
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "per-core tables") {
+		t.Errorf("mis-sized tables accepted: %v", err)
+	}
+}
+
+func TestValidateEntryRange(t *testing.T) {
+	cr := validRegion(2)
+	cr.Entry[0] = 99
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("out-of-range entry accepted: %v", err)
+	}
+}
+
+func TestValidateSpawnTargets(t *testing.T) {
+	cr := validRegion(2)
+	cr.Code[0] = append([]isa.Inst{{Op: isa.SPAWN, Core: 1, Imm: 42}}, cr.Code[0]...)
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "unresolved label") {
+		t.Errorf("spawn to unknown label accepted: %v", err)
+	}
+	cr.Code[0][0].Core = 7
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "target core") {
+		t.Errorf("spawn to nonexistent core accepted: %v", err)
+	}
+}
+
+func TestValidateCoupledNeedsAllAwake(t *testing.T) {
+	cr := validRegion(2)
+	cr.Mode = Coupled
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "awake") {
+		t.Errorf("coupled region with sleeping core accepted: %v", err)
+	}
+}
+
+func TestValidateDOALLNeedsFallback(t *testing.T) {
+	cr := validRegion(2)
+	cr.Mode = DOALL
+	cr.TxCores = 2
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "fallback") {
+		t.Errorf("DOALL region without fallback accepted: %v", err)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Coupled.String() != "coupled" || Decoupled.String() != "decoupled" || DOALL.String() != "doall" {
+		t.Error("mode names wrong")
+	}
+	if Coupled.StatsMode() == Decoupled.StatsMode() {
+		t.Error("stats modes collapsed")
+	}
+	if DOALL.StatsMode() != Decoupled.StatsMode() {
+		t.Error("DOALL must account as decoupled execution")
+	}
+}
+
+func TestAwakeEmptyCodeRejected(t *testing.T) {
+	cr := validRegion(2)
+	cr.Code[0] = nil
+	if err := cr.Validate(2); err == nil || !strings.Contains(err.Error(), "empty code") {
+		t.Errorf("awake core with empty code accepted: %v", err)
+	}
+}

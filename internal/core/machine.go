@@ -1,0 +1,743 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"voltron/internal/isa"
+	"voltron/internal/mem"
+	"voltron/internal/stats"
+	"voltron/internal/xnet"
+)
+
+// Config parameterizes a Voltron machine.
+type Config struct {
+	Cores int
+	Mem   mem.Config
+	// RegionSyncLat is the barrier overhead between regions (the paper's
+	// call/return synchronization point).
+	RegionSyncLat int64
+	// ModeSwitchLat is the extra cost of MODE_SWITCH between regions of
+	// different modes.
+	ModeSwitchLat int64
+	// Watchdog aborts a run when no core makes progress for this many
+	// cycles (a deadlock means compiler-inserted communication is wrong).
+	Watchdog int64
+	// QueueBaseLat/QueueHopLat override the queue-mode network latency
+	// when nonzero (used by the latency-sensitivity ablation).
+	QueueBaseLat int64
+	QueueHopLat  int64
+	// QueueCap overrides the per-(sender,receiver) queue capacity when
+	// nonzero (-1 = unbounded).
+	QueueCap int
+	// Trace, when non-nil, receives one line per issued instruction and
+	// per region transition — the machine's debugging facility.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the paper's machine parameters for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:         n,
+		Mem:           mem.DefaultConfig(n),
+		RegionSyncLat: 4,
+		ModeSwitchLat: 2,
+		Watchdog:      1_000_000,
+	}
+}
+
+// RunResult is the outcome of simulating a compiled program.
+type RunResult struct {
+	*stats.Run
+	Mem      *mem.Flat
+	MemStats mem.Stats
+	// RegionCycles is the wall-clock cycles spent in each region.
+	RegionCycles []int64
+}
+
+// Machine simulates a Voltron system.
+type Machine struct {
+	cfg Config
+	top xnet.Topology
+}
+
+// New creates a machine.
+func New(cfg Config) *Machine {
+	return &Machine{cfg: cfg, top: xnet.TopologyFor(cfg.Cores)}
+}
+
+// coreState is one core's runtime state.
+type coreState struct {
+	id           int
+	pc           int
+	awake        bool
+	done         bool
+	txwait       bool
+	txactive     bool
+	stallUntil   int64
+	stallKind    stats.Kind
+	fetchUntil   int64
+	regs         [4][]uint64
+	ready        [4][]int64
+	issuedBranch bool // this cycle (coupled-mode consistency check)
+	branchTaken  bool
+	halted       bool // issued HALT this cycle (coupled)
+}
+
+func classIdx(c isa.RegClass) int { return int(c) - 1 }
+
+func (cs *coreState) ensure(r isa.Reg) {
+	ci := classIdx(r.Class)
+	for len(cs.regs[ci]) <= r.Index {
+		cs.regs[ci] = append(cs.regs[ci], 0)
+		cs.ready[ci] = append(cs.ready[ci], 0)
+	}
+}
+
+func (cs *coreState) get(r isa.Reg) uint64 {
+	cs.ensure(r)
+	return cs.regs[classIdx(r.Class)][r.Index]
+}
+
+func (cs *coreState) set(r isa.Reg, v uint64, readyAt int64) {
+	cs.ensure(r)
+	cs.regs[classIdx(r.Class)][r.Index] = v
+	cs.ready[classIdx(r.Class)][r.Index] = readyAt
+}
+
+func (cs *coreState) readyAt(r isa.Reg) int64 {
+	cs.ensure(r)
+	return cs.ready[classIdx(r.Class)][r.Index]
+}
+
+// runState holds the machinery of one simulation.
+type runState struct {
+	m      *Machine
+	cp     *CompiledProgram
+	sys    *mem.System
+	direct *xnet.DirectNet
+	queue  *xnet.QueueNet
+	run    *stats.Run
+	cores  []*coreState
+	now    int64
+	// current region context
+	cr       *CompiledRegion
+	regionID int
+	lastProg int64
+}
+
+// Run simulates the compiled program to completion.
+func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if cp.Cores != m.cfg.Cores {
+		return nil, fmt.Errorf("program compiled for %d cores, machine has %d", cp.Cores, m.cfg.Cores)
+	}
+	flat := cp.NewMemory()
+	rs := &runState{
+		m:      m,
+		cp:     cp,
+		sys:    mem.NewSystem(m.cfg.Mem, flat),
+		direct: xnet.NewDirectNet(m.top),
+		queue:  xnet.NewQueueNet(m.top),
+		run:    stats.NewRun(m.cfg.Cores),
+	}
+	if m.cfg.QueueBaseLat > 0 {
+		rs.queue.BaseLat = m.cfg.QueueBaseLat
+	}
+	if m.cfg.QueueHopLat > 0 {
+		rs.queue.HopLat = m.cfg.QueueHopLat
+	}
+	if m.cfg.QueueCap != 0 {
+		rs.queue.Cap = m.cfg.QueueCap
+	}
+	res := &RunResult{Run: rs.run, Mem: flat}
+	prevMode := Mode(-1)
+	for i, cr := range cp.Regions {
+		rs.tracef("=== region %q mode=%v cycle=%d\n", cr.Name, cr.Mode, rs.now)
+		start := rs.now
+		// Region barrier (+ mode switch when the mode changes).
+		overhead := m.cfg.RegionSyncLat
+		if prevMode >= 0 && prevMode.StatsMode() != cr.Mode.StatsMode() {
+			overhead += m.cfg.ModeSwitchLat
+		}
+		rs.chargeAll(stats.SyncCallRet, overhead)
+		rs.now += overhead
+		if err := rs.runRegion(i, cr); err != nil {
+			return nil, fmt.Errorf("region %q: %w", cr.Name, err)
+		}
+		cycles := rs.now - start
+		res.RegionCycles = append(res.RegionCycles, cycles)
+		rs.run.ModeCycles[cr.Mode.StatsMode()] += cycles
+		prevMode = cr.Mode
+	}
+	rs.run.TotalCycles = rs.now
+	rs.run.TMConflicts = rs.sys.TM.Conflicts()
+	res.MemStats = rs.sys.St
+	return res, nil
+}
+
+func (rs *runState) chargeAll(k stats.Kind, n int64) {
+	for i := range rs.run.Cores {
+		rs.run.Cores[i].Add(k, n)
+	}
+}
+
+func (rs *runState) charge(core int, k stats.Kind) {
+	rs.run.Cores[core].Add(k, 1)
+}
+
+// tracef writes to the configured trace sink, if any.
+func (rs *runState) tracef(format string, args ...any) {
+	if rs.m.cfg.Trace != nil {
+		fmt.Fprintf(rs.m.cfg.Trace, format, args...)
+	}
+}
+
+// traceIssue logs one issued instruction.
+func (rs *runState) traceIssue(cs *coreState, in isa.Inst) {
+	if rs.m.cfg.Trace != nil {
+		fmt.Fprintf(rs.m.cfg.Trace, "%8d c%d %4d  %v\n", rs.now, cs.id, cs.pc, in)
+	}
+}
+
+// instAddr gives the I-cache address of an instruction: each core's stream
+// for each region lives in its own memory space.
+func (rs *runState) instAddr(core, idx int) int64 {
+	return int64(rs.regionID)<<24 | int64(core)<<20 | int64(idx)*isa.InstBytes
+}
+
+// setPC moves a core to an instruction index and starts the fetch.
+func (rs *runState) setPC(cs *coreState, idx int) {
+	cs.pc = idx
+	done := rs.sys.Fetch(cs.id, rs.instAddr(cs.id, idx), rs.now+1)
+	// Overlap the hit latency with execution: only the miss portion stalls.
+	cs.fetchUntil = done - rs.sys.Cfg.L1I.HitLat
+}
+
+func (rs *runState) runRegion(id int, cr *CompiledRegion) error {
+	rs.cr = cr
+	rs.regionID = id
+	rs.cores = rs.cores[:0]
+	for c := 0; c < rs.m.cfg.Cores; c++ {
+		cs := &coreState{id: c, awake: cr.StartAwake[c]}
+		rs.cores = append(rs.cores, cs)
+		if cs.awake {
+			rs.setPC(cs, cr.Entry[c])
+		}
+	}
+	rs.lastProg = rs.now
+	if cr.Mode == Coupled {
+		return rs.runCoupled()
+	}
+	return rs.runDecoupled()
+}
+
+// ---------- coupled (lock-step) execution ----------
+
+func (rs *runState) runCoupled() error {
+	cr := rs.cr
+	for {
+		// Lock-step issue: every core must be able to issue this cycle;
+		// otherwise the stall bus stalls them all.
+		blockedKind := make([]stats.Kind, len(rs.cores))
+		anyBlocked := false
+		for _, cs := range rs.cores {
+			blockedKind[cs.id] = stats.Busy
+			if rs.now < cs.stallUntil {
+				blockedKind[cs.id] = cs.stallKind
+				anyBlocked = true
+			} else if rs.now < cs.fetchUntil {
+				blockedKind[cs.id] = stats.IStall
+				anyBlocked = true
+			}
+		}
+		if anyBlocked {
+			for _, cs := range rs.cores {
+				if blockedKind[cs.id] != stats.Busy {
+					rs.charge(cs.id, blockedKind[cs.id])
+				} else {
+					rs.charge(cs.id, stats.Lockstep)
+				}
+			}
+			rs.now++
+			if err := rs.watchdog(); err != nil {
+				return err
+			}
+			continue
+		}
+		// All issue together. Phase A: drive the direct-mode wires.
+		rs.direct.BeginCycle(rs.now)
+		for _, cs := range rs.cores {
+			in := cr.Code[cs.id][cs.pc]
+			switch in.Op {
+			case isa.PUT:
+				if err := rs.checkOperands(cs, in); err != nil {
+					return err
+				}
+				if err := rs.direct.Put(cs.id, in.Dir, cs.get(in.Src1)); err != nil {
+					return err
+				}
+			case isa.BCAST:
+				if err := rs.checkOperands(cs, in); err != nil {
+					return err
+				}
+				if err := rs.direct.Broadcast(cs.id, cs.get(in.Src1)); err != nil {
+					return err
+				}
+			}
+		}
+		// Phase B: everything else.
+		halts, branches := 0, 0
+		for _, cs := range rs.cores {
+			in := cr.Code[cs.id][cs.pc]
+			cs.issuedBranch, cs.halted = false, false
+			if in.Op == isa.PUT || in.Op == isa.BCAST {
+				rs.charge(cs.id, stats.Busy)
+				continue
+			}
+			if err := rs.execInst(cs, in, cr.Labels[cs.id], true); err != nil {
+				return err
+			}
+			rs.traceIssue(cs, in)
+			rs.charge(cs.id, stats.Busy)
+			if cs.issuedBranch {
+				branches++
+			}
+			if cs.halted {
+				halts++
+			}
+		}
+		rs.lastProg = rs.now
+		// Branch/halt consistency: the compiler schedules them in the same
+		// cycle on every core.
+		if halts > 0 && halts != len(rs.cores) {
+			return fmt.Errorf("cycle %d: %d/%d cores halted (schedule skew)", rs.now, halts, len(rs.cores))
+		}
+		if branches > 0 && branches != len(rs.cores) {
+			return fmt.Errorf("cycle %d: %d/%d cores branched (schedule skew)", rs.now, branches, len(rs.cores))
+		}
+		if branches > 0 {
+			taken := rs.cores[0].branchTaken
+			for _, cs := range rs.cores {
+				if cs.branchTaken != taken {
+					return fmt.Errorf("cycle %d: branch decision diverged between cores", rs.now)
+				}
+			}
+		}
+		// Advance PCs.
+		for _, cs := range rs.cores {
+			in := cr.Code[cs.id][cs.pc]
+			switch {
+			case cs.halted:
+				// region ends below
+			case cs.issuedBranch && cs.branchTaken:
+				idx, ok := cr.Labels[cs.id][int64(cs.get(in.Src1))]
+				if !ok {
+					return fmt.Errorf("core %d: branch to unknown block %d", cs.id, cs.get(in.Src1))
+				}
+				rs.setPC(cs, idx)
+			default:
+				rs.setPC(cs, cs.pc+1)
+			}
+		}
+		rs.now++
+		if halts > 0 {
+			return nil
+		}
+		if err := rs.watchdog(); err != nil {
+			return err
+		}
+	}
+}
+
+// ---------- decoupled (fine-grain thread) execution ----------
+
+func (rs *runState) runDecoupled() error {
+	cr := rs.cr
+	for {
+		allQuiet := true
+		for _, cs := range rs.cores {
+			if err := rs.stepDecoupled(cs); err != nil {
+				return err
+			}
+			if !cs.done && cs.awake {
+				allQuiet = false
+			}
+		}
+		// Transactional commit barrier.
+		if cr.TxCores > 0 {
+			if rs.sys.TM.AnyAborted() {
+				return rs.runFallback()
+			}
+			waiting := 0
+			for _, cs := range rs.cores {
+				if cs.txwait {
+					waiting++
+				}
+			}
+			if waiting == cr.TxCores && waiting > 0 {
+				for _, cs := range rs.cores {
+					if cs.txwait {
+						if !rs.sys.TM.Commit(cs.id) {
+							return rs.runFallback()
+						}
+						cs.txwait, cs.txactive = false, false
+					}
+				}
+			}
+		}
+		rs.now++
+		if allQuiet && !rs.queue.PendingAny() {
+			return nil
+		}
+		if err := rs.watchdog(); err != nil {
+			return err
+		}
+	}
+}
+
+// stepDecoupled advances one core by one cycle in decoupled mode.
+func (rs *runState) stepDecoupled(cs *coreState) error {
+	cr := rs.cr
+	switch {
+	case cs.done:
+		rs.charge(cs.id, stats.SyncCallRet)
+		return nil
+	case !cs.awake:
+		if addr, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
+			idx, lbl := cr.Labels[cs.id][int64(addr)]
+			if !lbl {
+				return fmt.Errorf("core %d: spawned at unknown block %d", cs.id, addr)
+			}
+			cs.awake = true
+			rs.setPC(cs, idx)
+			rs.run.Spawns++
+			rs.lastProg = rs.now
+		}
+		rs.charge(cs.id, stats.SyncCallRet)
+		return nil
+	case cs.txwait:
+		rs.charge(cs.id, stats.SyncCallRet)
+		return nil
+	case rs.now < cs.stallUntil:
+		rs.charge(cs.id, cs.stallKind)
+		return nil
+	case rs.now < cs.fetchUntil:
+		rs.charge(cs.id, stats.IStall)
+		return nil
+	}
+	in := cr.Code[cs.id][cs.pc]
+	// Queue-mode back-pressure: a SEND (or SPAWN/broadcast) to a full
+	// receive queue retries until the consumer drains it.
+	switch in.Op {
+	case isa.SEND, isa.SPAWN:
+		if !rs.queue.CanSend(cs.id, in.Core) {
+			rs.charge(cs.id, stats.SendStall)
+			return nil
+		}
+	case isa.BCAST:
+		for c := 0; c < rs.m.cfg.Cores; c++ {
+			if c != cs.id && !rs.queue.CanSend(cs.id, c) {
+				rs.charge(cs.id, stats.SendStall)
+				return nil
+			}
+		}
+	}
+	// RECV retries until its message arrives: the receive-queue stall.
+	if in.Op == isa.RECV {
+		v, ok := rs.queue.Recv(cs.id, in.Core, rs.now)
+		if !ok {
+			if in.Dst.Class == isa.RegPR {
+				rs.charge(cs.id, stats.RecvPred)
+			} else {
+				rs.charge(cs.id, stats.RecvData)
+			}
+			return nil
+		}
+		cs.set(in.Dst, v, rs.now+1)
+		rs.charge(cs.id, stats.Busy)
+		rs.setPC(cs, cs.pc+1)
+		rs.lastProg = rs.now
+		return nil
+	}
+	cs.issuedBranch, cs.halted = false, false
+	if err := rs.execInst(cs, in, cr.Labels[cs.id], false); err != nil {
+		return err
+	}
+	rs.traceIssue(cs, in)
+	rs.charge(cs.id, stats.Busy)
+	rs.lastProg = rs.now
+	switch {
+	case cs.halted:
+		cs.done = true
+	case in.Op == isa.SLEEP:
+		cs.awake = false
+	case cs.issuedBranch && cs.branchTaken:
+		idx, ok := cr.Labels[cs.id][int64(cs.get(in.Src1))]
+		if !ok {
+			return fmt.Errorf("core %d: branch to unknown block %d", cs.id, cs.get(in.Src1))
+		}
+		rs.setPC(cs, idx)
+	default:
+		rs.setPC(cs, cs.pc+1)
+	}
+	return nil
+}
+
+// runFallback handles a DOALL dependence violation: abort every transaction,
+// roll memory back, and re-execute the loop serially on core 0 from the
+// region's fallback stream. The compiler is responsible for register state
+// (the fallback re-materializes everything), matching the paper's
+// compiler-managed register rollback.
+func (rs *runState) runFallback() error {
+	rs.sys.TM.AbortAll(rs.sys.Flat)
+	cr := rs.cr
+	cs := &coreState{id: 0, awake: true}
+	// Distinct address space for the fallback stream.
+	saveRegion := rs.regionID
+	rs.regionID = saveRegion | 1<<16
+	defer func() { rs.regionID = saveRegion }()
+	rs.setPC(cs, 0)
+	for {
+		for i := 1; i < len(rs.cores); i++ {
+			rs.charge(i, stats.TMRollback)
+		}
+		switch {
+		case rs.now < cs.stallUntil:
+			rs.charge(0, cs.stallKind)
+		case rs.now < cs.fetchUntil:
+			rs.charge(0, stats.IStall)
+		default:
+			in := cr.Fallback[cs.pc]
+			cs.issuedBranch, cs.halted = false, false
+			if err := rs.execInst(cs, in, cr.FallbackLabels, false); err != nil {
+				return err
+			}
+			rs.charge(0, stats.Busy)
+			rs.lastProg = rs.now
+			switch {
+			case cs.halted:
+				rs.now++
+				return nil
+			case cs.issuedBranch && cs.branchTaken:
+				idx, ok := cr.FallbackLabels[int64(cs.get(in.Src1))]
+				if !ok {
+					return fmt.Errorf("fallback: branch to unknown block %d", cs.get(in.Src1))
+				}
+				rs.setPC(cs, idx)
+			default:
+				rs.setPC(cs, cs.pc+1)
+			}
+		}
+		rs.now++
+		if err := rs.watchdog(); err != nil {
+			return err
+		}
+	}
+}
+
+// ---------- shared instruction semantics ----------
+
+// checkOperands enforces the static-schedule contract: every source
+// register must be ready when an instruction issues. A violation is a
+// compiler bug, reported as a simulation error.
+func (rs *runState) checkOperands(cs *coreState, in isa.Inst) error {
+	for _, r := range in.Reads() {
+		if rdy := cs.readyAt(r); rdy > rs.now {
+			return fmt.Errorf("cycle %d core %d: %v reads %v ready at %d (schedule violation)",
+				rs.now, cs.id, in, r, rdy)
+		}
+	}
+	return nil
+}
+
+// execInst executes one instruction's semantics at the current cycle.
+// Coupled-only operations (GET) and decoupled-only ones (SEND/RECV/SPAWN)
+// are enforced by mode.
+func (rs *runState) execInst(cs *coreState, in isa.Inst, labels map[int64]int, coupled bool) error {
+	if err := rs.checkOperands(cs, in); err != nil {
+		return err
+	}
+	argI := func(r isa.Reg) int64 { return int64(cs.get(r)) }
+	argF := func(r isa.Reg) float64 { return math.Float64frombits(cs.get(r)) }
+	rhs := func() int64 {
+		if in.Src2.Valid() {
+			return argI(in.Src2)
+		}
+		return in.Imm
+	}
+	setI := func(v int64) { cs.set(in.Dst, uint64(v), rs.now+int64(in.Op.Latency())) }
+	setF := func(v float64) { cs.set(in.Dst, math.Float64bits(v), rs.now+int64(in.Op.Latency())) }
+	setP := func(v bool) {
+		var u uint64
+		if v {
+			u = 1
+		}
+		cs.set(in.Dst, u, rs.now+1)
+	}
+	switch in.Op {
+	case isa.NOP, isa.MODESWITCH:
+	case isa.MOVI:
+		setI(in.Imm)
+	case isa.MOV:
+		setI(argI(in.Src1))
+	case isa.FMOVI:
+		setF(in.F)
+	case isa.FMOV:
+		setF(argF(in.Src1))
+	case isa.ADD:
+		setI(argI(in.Src1) + rhs())
+	case isa.SUB:
+		setI(argI(in.Src1) - rhs())
+	case isa.MUL:
+		setI(argI(in.Src1) * rhs())
+	case isa.DIV:
+		if d := rhs(); d != 0 {
+			setI(argI(in.Src1) / d)
+		} else {
+			setI(0)
+		}
+	case isa.REM:
+		if d := rhs(); d != 0 {
+			setI(argI(in.Src1) % d)
+		} else {
+			setI(0)
+		}
+	case isa.AND:
+		setI(argI(in.Src1) & rhs())
+	case isa.OR:
+		setI(argI(in.Src1) | rhs())
+	case isa.XOR:
+		setI(argI(in.Src1) ^ rhs())
+	case isa.SHL:
+		setI(argI(in.Src1) << (uint64(rhs()) & 63))
+	case isa.SHR:
+		setI(argI(in.Src1) >> (uint64(rhs()) & 63))
+	case isa.FADD:
+		setF(argF(in.Src1) + argF(in.Src2))
+	case isa.FSUB:
+		setF(argF(in.Src1) - argF(in.Src2))
+	case isa.FMUL:
+		setF(argF(in.Src1) * argF(in.Src2))
+	case isa.FDIV:
+		setF(argF(in.Src1) / argF(in.Src2))
+	case isa.ITOF:
+		setF(float64(argI(in.Src1)))
+	case isa.FTOI:
+		setI(int64(argF(in.Src1)))
+	case isa.CMPEQ:
+		setP(argI(in.Src1) == rhs())
+	case isa.CMPNE:
+		setP(argI(in.Src1) != rhs())
+	case isa.CMPLT:
+		setP(argI(in.Src1) < rhs())
+	case isa.CMPLE:
+		setP(argI(in.Src1) <= rhs())
+	case isa.CMPGT:
+		setP(argI(in.Src1) > rhs())
+	case isa.CMPGE:
+		setP(argI(in.Src1) >= rhs())
+	case isa.FCMPLT:
+		setP(argF(in.Src1) < argF(in.Src2))
+	case isa.PAND:
+		setP(cs.get(in.Src1) != 0 && cs.get(in.Src2) != 0)
+	case isa.POR:
+		setP(cs.get(in.Src1) != 0 || cs.get(in.Src2) != 0)
+	case isa.PNOT:
+		setP(cs.get(in.Src1) == 0)
+	case isa.LOAD, isa.FLOAD:
+		addr := argI(in.Src1) + in.Imm
+		v, done := rs.sys.Read(cs.id, addr, rs.now)
+		cs.set(in.Dst, v, done)
+		// Blocking cache: the miss portion stalls the core; the hit
+		// latency is covered by the schedule.
+		hit := rs.sys.Cfg.L1D.HitLat
+		if done > rs.now+hit {
+			cs.stallUntil = done - hit + 1
+			cs.stallKind = stats.DStall
+		}
+	case isa.STORE, isa.FSTORE:
+		// Stores retire through a store buffer: the write updates cache
+		// state and occupies the bus, but the core does not stall on the
+		// miss/upgrade latency.
+		addr := argI(in.Src1) + in.Imm
+		rs.sys.Write(cs.id, addr, rs.now, cs.get(in.Src2))
+	case isa.PBR:
+		cs.set(in.Dst, uint64(in.Imm), rs.now+1)
+	case isa.BR:
+		cs.issuedBranch = true
+		cs.branchTaken = true
+		if in.Src2.Valid() {
+			cs.branchTaken = cs.get(in.Src2) != 0
+		}
+	case isa.HALT:
+		cs.halted = true
+	case isa.GETOP:
+		if !coupled {
+			return fmt.Errorf("core %d: GET in decoupled mode", cs.id)
+		}
+		v, err := rs.direct.Get(cs.id, in.Dir)
+		if err != nil {
+			return err
+		}
+		cs.set(in.Dst, v, rs.now+1)
+	case isa.PUT:
+		// Handled in phase A of the coupled loop; reaching here means a
+		// PUT leaked into decoupled code.
+		return fmt.Errorf("core %d: PUT in decoupled mode", cs.id)
+	case isa.SEND:
+		if coupled {
+			return fmt.Errorf("core %d: SEND in coupled mode", cs.id)
+		}
+		rs.queue.Send(cs.id, in.Core, cs.get(in.Src1), rs.now)
+	case isa.BCAST:
+		if coupled {
+			return nil // phase A already drove the wires
+		}
+		// Decoupled broadcast is lowered to SENDs by the compiler; a BCAST
+		// here sends to every other core.
+		for c := 0; c < rs.m.cfg.Cores; c++ {
+			if c != cs.id {
+				rs.queue.Send(cs.id, c, cs.get(in.Src1), rs.now)
+			}
+		}
+	case isa.SPAWN:
+		if coupled {
+			return fmt.Errorf("core %d: SPAWN in coupled mode", cs.id)
+		}
+		rs.queue.SendSpawn(cs.id, in.Core, uint64(in.Imm), rs.now)
+	case isa.SLEEP:
+		if coupled {
+			return fmt.Errorf("core %d: SLEEP in coupled mode", cs.id)
+		}
+		// State change handled by the caller.
+	case isa.TXBEGIN:
+		rs.sys.TM.Begin(cs.id, int(in.Imm))
+		cs.txactive = true
+	case isa.TXCOMMIT:
+		if !cs.txactive {
+			return fmt.Errorf("core %d: TXCOMMIT without TXBEGIN", cs.id)
+		}
+		cs.txwait = true
+	case isa.TXABORT:
+		return fmt.Errorf("core %d: explicit TXABORT is not emitted by the compiler", cs.id)
+	default:
+		return fmt.Errorf("core %d: cannot execute %v", cs.id, in)
+	}
+	return nil
+}
+
+func (rs *runState) watchdog() error {
+	if rs.now-rs.lastProg > rs.m.cfg.Watchdog {
+		var dump string
+		for _, cs := range rs.cores {
+			dump += fmt.Sprintf(" core%d{pc=%d awake=%v done=%v txwait=%v}",
+				cs.id, cs.pc, cs.awake, cs.done, cs.txwait)
+		}
+		return fmt.Errorf("deadlock: no progress since cycle %d (now %d):%s", rs.lastProg, rs.now, dump)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+	"voltron/internal/stats"
+)
+
+// asm builds a hand-written instruction stream for machine tests.
+type asm struct {
+	code   []isa.Inst
+	labels map[int64]int
+}
+
+func newAsm() *asm { return &asm{labels: map[int64]int{}} }
+
+func (a *asm) label(id int64) *asm { a.labels[id] = len(a.code); return a }
+func (a *asm) emit(in isa.Inst) *asm {
+	a.code = append(a.code, in)
+	return a
+}
+func (a *asm) nop() *asm { return a.emit(isa.Nop()) }
+
+// srcProg creates a minimal IR program providing a memory image with one
+// array named "out".
+func srcProg(words int64) (*ir.Program, *ir.Array) {
+	p := ir.NewProgram("test")
+	out := p.Array("out", words)
+	return p, out
+}
+
+func mustRun(t *testing.T, cfg Config, cp *CompiledProgram) *RunResult {
+	t.Helper()
+	res, err := New(cfg).Run(cp)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestCoupledSingleCoreStraightLine(t *testing.T) {
+	p, out := srcProg(4)
+	a := newAsm()
+	a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 5})
+	a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: out.Base})
+	a.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(3), Src1: isa.GPR(1), Imm: 2})
+	a.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(2), Src2: isa.GPR(3)})
+	a.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 1, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{a.code},
+			Labels: []map[int64]int{a.labels},
+			Entry:  []int{0}, StartAwake: []bool{true},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(1), cp)
+	if got := int64(res.Mem.LoadW(out.Base)); got != 7 {
+		t.Errorf("out = %d, want 7", got)
+	}
+	if res.TotalCycles <= 0 {
+		t.Error("no cycles counted")
+	}
+	if res.Run.Cores[0].Cycles[stats.Busy] != 5 {
+		t.Errorf("busy cycles = %d, want 5", res.Run.Cores[0].Cycles[stats.Busy])
+	}
+}
+
+func TestCoupledPutGet(t *testing.T) {
+	p, out := srcProg(4)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 5})
+	c0.emit(isa.Inst{Op: isa.PUT, Src1: isa.GPR(1), Dir: isa.East})
+	c0.nop()
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(9), Imm: out.Base})
+	c1.emit(isa.Inst{Op: isa.GETOP, Dst: isa.GPR(2), Dir: isa.West})
+	c1.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(9), Src2: isa.GPR(2)})
+	c1.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, true},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(2), cp)
+	if got := int64(res.Mem.LoadW(out.Base)); got != 5 {
+		t.Errorf("out = %d, want 5 (PUT/GET value lost)", got)
+	}
+}
+
+func TestCoupledLoopWithBroadcastBranch(t *testing.T) {
+	p, out := srcProg(4)
+	// core 0 computes sum 0..4 and the branch condition, broadcasting it.
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 0}) // sum
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: 0}) // i
+	c0.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	c0.nop()
+	c0.label(1)
+	c0.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Src2: isa.GPR(2)})
+	c0.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(2), Src1: isa.GPR(2), Imm: 1})
+	c0.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(2), Imm: 5})
+	c0.emit(isa.Inst{Op: isa.BCAST, Src1: isa.PR(1)})
+	c0.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(3), Imm: out.Base})
+	c0.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(3), Src2: isa.GPR(1)})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	// core 1 follows control flow in lock-step.
+	c1 := newAsm()
+	c1.nop().nop()
+	c1.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	c1.nop()
+	c1.label(1)
+	c1.nop().nop().nop()
+	c1.emit(isa.Inst{Op: isa.GETOP, Dst: isa.PR(1), Dir: isa.West})
+	c1.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c1.nop().nop()
+	c1.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, true},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(2), cp)
+	if got := int64(res.Mem.LoadW(out.Base)); got != 10 {
+		t.Errorf("sum = %d, want 10", got)
+	}
+}
+
+func TestCoupledScheduleSkewDetected(t *testing.T) {
+	// Core 0 halts one cycle before core 1: the machine must reject it.
+	p, _ := srcProg(4)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.nop()
+	c1.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, true},
+		}},
+	}
+	if _, err := New(DefaultConfig(2)).Run(cp); err == nil || !strings.Contains(err.Error(), "halted") {
+		t.Errorf("expected schedule-skew error, got %v", err)
+	}
+}
+
+func TestScheduleViolationDetected(t *testing.T) {
+	// MUL has latency 3; consuming its result on the next cycle is a
+	// compiler bug the machine must flag.
+	p, _ := srcProg(4)
+	a := newAsm()
+	a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 3})
+	a.emit(isa.Inst{Op: isa.MUL, Dst: isa.GPR(2), Src1: isa.GPR(1), Imm: 4})
+	a.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(3), Src1: isa.GPR(2), Imm: 1})
+	a.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 1, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{a.code},
+			Labels: []map[int64]int{a.labels},
+			Entry:  []int{0}, StartAwake: []bool{true},
+		}},
+	}
+	if _, err := New(DefaultConfig(1)).Run(cp); err == nil || !strings.Contains(err.Error(), "schedule violation") {
+		t.Errorf("expected schedule violation, got %v", err)
+	}
+}
+
+func TestCoupledLoadMissStallsAllCores(t *testing.T) {
+	p, out := srcProg(4)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: out.Base})
+	c0.emit(isa.Inst{Op: isa.LOAD, Dst: isa.GPR(2), Src1: isa.GPR(1)})
+	c0.nop()
+	c0.nop()
+	c0.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(1), Src2: isa.GPR(2), Imm: 8})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.nop().nop().nop().nop().nop()
+	c1.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, true},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(2), cp)
+	if res.Run.Cores[0].Cycles[stats.DStall] == 0 {
+		t.Error("cold load miss produced no D-stall on the loading core")
+	}
+	if res.Run.Cores[1].Cycles[stats.Lockstep] == 0 {
+		t.Error("lock-step partner was not charged lockstep stall")
+	}
+}
+
+func TestDecoupledSpawnSendRecv(t *testing.T) {
+	p, out := srcProg(4)
+	c0 := newAsm()
+	c0.label(0)
+	c0.emit(isa.Inst{Op: isa.SPAWN, Core: 1, Imm: 10})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(9), Imm: out.Base})
+	c0.emit(isa.Inst{Op: isa.RECV, Dst: isa.GPR(5), Core: 1})
+	c0.nop()
+	c0.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(9), Src2: isa.GPR(5)})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.label(10)
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 21})
+	c1.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(2), Src1: isa.GPR(1), Src2: isa.GPR(1)})
+	c1.emit(isa.Inst{Op: isa.SEND, Src1: isa.GPR(2), Core: 0})
+	c1.emit(isa.Inst{Op: isa.SLEEP})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Decoupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, false},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(2), cp)
+	if got := int64(res.Mem.LoadW(out.Base)); got != 42 {
+		t.Errorf("out = %d, want 42", got)
+	}
+	if res.Run.Spawns != 1 {
+		t.Errorf("spawns = %d, want 1", res.Run.Spawns)
+	}
+	if res.Run.Cores[0].Cycles[stats.RecvData] == 0 {
+		t.Error("master never stalled on RECV despite spawn+compute latency")
+	}
+}
+
+func TestDecoupledPredicateRecvAccounting(t *testing.T) {
+	p, _ := srcProg(4)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.SPAWN, Core: 1, Imm: 10})
+	c0.emit(isa.Inst{Op: isa.RECV, Dst: isa.PR(1), Core: 1})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.label(10)
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 1})
+	c1.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(2), Src1: isa.GPR(1), Imm: 5})
+	c1.emit(isa.Inst{Op: isa.SEND, Src1: isa.PR(2), Core: 0})
+	c1.emit(isa.Inst{Op: isa.SLEEP})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Decoupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, false},
+		}},
+	}
+	res := mustRun(t, DefaultConfig(2), cp)
+	if res.Run.Cores[0].Cycles[stats.RecvPred] == 0 {
+		t.Error("predicate receive stall not attributed to RecvPred")
+	}
+}
+
+func doallProgram(conflict bool) (*CompiledProgram, *ir.Array) {
+	p, out := srcProg(8)
+	addr0, addr1 := out.Base, out.Base+8
+	if conflict {
+		addr1 = addr0
+	}
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.SPAWN, Core: 1, Imm: 10})
+	c0.emit(isa.Inst{Op: isa.TXBEGIN, Imm: 0})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: addr0})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: 1})
+	c0.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(1), Src2: isa.GPR(2)})
+	c0.emit(isa.Inst{Op: isa.TXCOMMIT})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.label(10)
+	c1.emit(isa.Inst{Op: isa.TXBEGIN, Imm: 1})
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: addr1})
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: 2})
+	c1.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(1), Src2: isa.GPR(2)})
+	c1.emit(isa.Inst{Op: isa.TXCOMMIT})
+	c1.emit(isa.Inst{Op: isa.SLEEP})
+	// Serial fallback: store 1 to addr0 then 2 to addr1, in order.
+	fb := newAsm()
+	fb.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: addr0})
+	fb.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: 1})
+	fb.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(1), Src2: isa.GPR(2)})
+	fb.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(3), Imm: addr1})
+	fb.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(4), Imm: 2})
+	fb.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(3), Src2: isa.GPR(4)})
+	fb.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "doall", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: DOALL,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, false},
+			TxCores:        2,
+			Fallback:       fb.code,
+			FallbackLabels: fb.labels,
+		}},
+	}
+	return cp, out
+}
+
+func TestDOALLNoConflictCommits(t *testing.T) {
+	cp, out := doallProgram(false)
+	res := mustRun(t, DefaultConfig(2), cp)
+	if res.Mem.LoadW(out.Base) != 1 || res.Mem.LoadW(out.Base+8) != 2 {
+		t.Errorf("chunk results lost: %d %d", res.Mem.LoadW(out.Base), res.Mem.LoadW(out.Base+8))
+	}
+	if res.Run.TMConflicts != 0 {
+		t.Errorf("conflicts = %d, want 0", res.Run.TMConflicts)
+	}
+}
+
+func TestDOALLConflictRollsBackAndRunsSerial(t *testing.T) {
+	cp, out := doallProgram(true)
+	res := mustRun(t, DefaultConfig(2), cp)
+	// Serial semantics: the second store (value 2) wins.
+	if got := res.Mem.LoadW(out.Base); got != 2 {
+		t.Errorf("out = %d, want serial result 2", got)
+	}
+	if res.Run.TMConflicts == 0 {
+		t.Error("conflict not detected")
+	}
+	if res.Run.Cores[1].Cycles[stats.TMRollback] == 0 {
+		t.Error("no rollback cycles charged")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p, _ := srcProg(4)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.RECV, Dst: isa.GPR(1), Core: 1}) // never sent
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.label(10)
+	c1.emit(isa.Inst{Op: isa.SLEEP})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Decoupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, false},
+		}},
+	}
+	cfg := DefaultConfig(2)
+	cfg.Watchdog = 200
+	if _, err := New(cfg).Run(cp); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestModeOccupancyAccounting(t *testing.T) {
+	p, _ := srcProg(4)
+	mk := func(mode Mode) *CompiledRegion {
+		a := newAsm()
+		a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 1})
+		a.emit(isa.Inst{Op: isa.HALT})
+		return &CompiledRegion{
+			Name: "r", Mode: mode,
+			Code:   [][]isa.Inst{a.code},
+			Labels: []map[int64]int{a.labels},
+			Entry:  []int{0}, StartAwake: []bool{true},
+		}
+	}
+	cp := &CompiledProgram{
+		Name: "t", Cores: 1, Src: p,
+		Regions: []*CompiledRegion{mk(Coupled), mk(Decoupled), mk(Coupled)},
+	}
+	res := mustRun(t, DefaultConfig(1), cp)
+	if res.Run.ModeCycles[stats.ModeCoupled] == 0 || res.Run.ModeCycles[stats.ModeDecoupled] == 0 {
+		t.Errorf("mode cycles = %v", res.Run.ModeCycles)
+	}
+	if len(res.RegionCycles) != 3 {
+		t.Errorf("region cycles = %v", res.RegionCycles)
+	}
+	if res.Run.ModeCycles[stats.ModeCoupled]+res.Run.ModeCycles[stats.ModeDecoupled] != res.TotalCycles {
+		t.Error("mode cycles do not sum to total")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	p, _ := srcProg(4)
+	a := newAsm()
+	a.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 77}) // unresolved label
+	a.emit(isa.Inst{Op: isa.HALT})
+	cp := &CompiledProgram{
+		Name: "t", Cores: 1, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{a.code},
+			Labels: []map[int64]int{a.labels},
+			Entry:  []int{0}, StartAwake: []bool{true},
+		}},
+	}
+	if _, err := New(DefaultConfig(1)).Run(cp); err == nil {
+		t.Error("unresolved label accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package exp regenerates every figure of the paper's evaluation (§5):
+// the parallelism breakdown (Figure 3), per-technique speedups on 2 and 4
+// cores (Figures 10 and 11), the stall breakdown under coupled vs decoupled
+// execution (Figure 12), hybrid speedups (Figure 13), and execution-mode
+// occupancy (Figure 14), plus the kernel speedups of Figures 7–9.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+	"voltron/internal/workload"
+)
+
+// Table is a printable experiment result: one row per benchmark plus an
+// average row, one column per measured series.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one benchmark's measurements.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// Average computes the arithmetic mean per column over the rows.
+func (t *Table) Average() Row {
+	avg := Row{Name: "average", Values: make([]float64, len(t.Columns))}
+	if len(t.Rows) == 0 {
+		return avg
+	}
+	for _, r := range t.Rows {
+		for i, v := range r.Values {
+			avg.Values[i] += v
+		}
+	}
+	for i := range avg.Values {
+		avg.Values[i] /= float64(len(t.Rows))
+	}
+	return avg
+}
+
+// Print renders the table with an average footer.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "%-14s", "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 15+15*len(t.Columns)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-14s", r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, " %14.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	avg := t.Average()
+	fmt.Fprintf(w, "%-14s", avg.Name)
+	for _, v := range avg.Values {
+		fmt.Fprintf(w, " %14.3f", v)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteJSON renders the table (rows plus the average) as JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	type jsonRow struct {
+		Benchmark string             `json:"benchmark"`
+		Values    map[string]float64 `json:"values"`
+	}
+	out := struct {
+		Title string    `json:"title"`
+		Rows  []jsonRow `json:"rows"`
+	}{Title: t.Title}
+	emit := func(r Row) {
+		jr := jsonRow{Benchmark: r.Name, Values: map[string]float64{}}
+		for i, c := range t.Columns {
+			if i < len(r.Values) {
+				jr.Values[c] = r.Values[i]
+			}
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	for _, r := range t.Rows {
+		emit(r)
+	}
+	emit(t.Average())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Suite caches compiled runs so figures sharing configurations do not
+// re-simulate.
+type Suite struct {
+	mu    sync.Mutex
+	runs  map[runKey]*core.RunResult
+	profs map[string]*prof.Profile
+	progs map[string]*ir.Program
+	// Benchmarks restricts the suite (defaults to all 25).
+	Benchmarks []string
+}
+
+type runKey struct {
+	bench string
+	strat compiler.Strategy
+	cores int
+}
+
+// NewSuite creates an empty result cache over the full benchmark list.
+func NewSuite() *Suite {
+	return &Suite{
+		runs:       map[runKey]*core.RunResult{},
+		profs:      map[string]*prof.Profile{},
+		progs:      map[string]*ir.Program{},
+		Benchmarks: workload.Names(),
+	}
+}
+
+// programFor builds (and caches) one benchmark. The same IR instance must
+// serve profiling and every compile: profiles are keyed by op identity.
+func (s *Suite) programFor(bench string) (*ir.Program, error) {
+	s.mu.Lock()
+	p, ok := s.progs[bench]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := workload.Build(bench)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.progs[bench] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// profileFor collects (and caches) the profile of one benchmark.
+func (s *Suite) profileFor(bench string) (*prof.Profile, error) {
+	s.mu.Lock()
+	pr, ok := s.profs[bench]
+	s.mu.Unlock()
+	if ok {
+		return pr, nil
+	}
+	p, err := s.programFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	pr, err = prof.Collect(p)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.profs[bench] = pr
+	s.mu.Unlock()
+	return pr, nil
+}
+
+// Run returns the (cached) simulation of one configuration.
+func (s *Suite) Run(bench string, strat compiler.Strategy, cores int) (*core.RunResult, error) {
+	key := runKey{bench, strat, cores}
+	s.mu.Lock()
+	res, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	p, err := s.programFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := s.profileFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: strat, Profile: pr})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
+	}
+	res, err = core.New(core.DefaultConfig(cores)).Run(cp)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Speedup returns serial cycles divided by the configuration's cycles.
+func (s *Suite) Speedup(bench string, strat compiler.Strategy, cores int) (float64, error) {
+	base, err := s.Run(bench, compiler.Serial, 1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.Run(bench, strat, cores)
+	if err != nil {
+		return 0, err
+	}
+	if r.TotalCycles == 0 {
+		return 0, fmt.Errorf("%s: zero cycles", bench)
+	}
+	return float64(base.TotalCycles) / float64(r.TotalCycles), nil
+}
+
+// sortedBenchmarks returns the suite's benchmark list in the paper's order.
+func (s *Suite) sortedBenchmarks() []string {
+	out := append([]string(nil), s.Benchmarks...)
+	pos := map[string]int{}
+	for i, n := range workload.Names() {
+		pos[n] = i
+	}
+	sort.Slice(out, func(i, j int) bool { return pos[out[i]] < pos[out[j]] })
+	return out
+}

@@ -1,0 +1,28 @@
+package exp
+
+import "voltron/internal/compiler"
+
+// Scaling is an extension experiment beyond the paper's 2- and 4-core
+// configurations: hybrid speedup at 8 cores. Coupled groups stay limited
+// to 4 cores (paper §3.2: "coupling more than 4 cores is rare"), so at 8
+// cores hybrid execution draws on decoupled fine-grain TLP and chunked
+// DOALL loops only — the selection machinery handles the restriction by
+// construction (the coupled candidate is simply unavailable).
+func (s *Suite) Scaling() (*Table, error) {
+	t := &Table{
+		Title:   "Extension: hybrid speedup scaling (coupled groups capped at 4 cores)",
+		Columns: []string{"2 core", "4 core", "8 core"},
+	}
+	for _, b := range s.sortedBenchmarks() {
+		row := Row{Name: b}
+		for _, n := range []int{2, 4, 8} {
+			sp, err := s.Speedup(b, compiler.Hybrid, n)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, sp)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+)
+
+// evalOne builds a one-op program computing dst = a OP b and returns dst.
+func evalOne(t *testing.T, code isa.Opcode, a, b int64) int64 {
+	t.Helper()
+	p := ir.NewProgram("one")
+	out := p.Array("out", 1)
+	r := p.Region("r")
+	blk := r.NewBlock()
+	va := blk.MovI(a)
+	vb := blk.MovI(b)
+	o := r.NewOp(code)
+	o.Args[0], o.Args[1] = va, vb
+	o.Dst = r.NewValue(isa.RegGPR)
+	o.Blk = blk
+	blk.Ops = append(blk.Ops, o)
+	base := blk.AddrOf(out)
+	blk.Store(out, base, 0, o.Dst)
+	blk.ExitRegion()
+	r.Seal()
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(res.Mem.LoadW(out.Base))
+}
+
+func TestShiftSemantics(t *testing.T) {
+	f := func(x int64, s uint8) bool {
+		sh := int64(s & 63)
+		return evalOne(t, isa.SHL, x, sh) == x<<uint(sh) &&
+			evalOne(t, isa.SHR, x, sh) == x>>uint(sh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftCountMasking(t *testing.T) {
+	// Shift counts wrap at 64, matching the machine's semantics.
+	if got := evalOne(t, isa.SHL, 1, 65); got != 2 {
+		t.Errorf("1 << 65 = %d, want 2 (count masked)", got)
+	}
+	if got := evalOne(t, isa.SHR, 8, 64); got != 8 {
+		t.Errorf("8 >> 64 = %d, want 8 (count masked)", got)
+	}
+}
+
+func TestArithmeticShiftRightIsSigned(t *testing.T) {
+	if got := evalOne(t, isa.SHR, -8, 1); got != -4 {
+		t.Errorf("-8 >> 1 = %d, want -4 (arithmetic shift)", got)
+	}
+}
+
+func TestComparisonOpcodes(t *testing.T) {
+	cases := []struct {
+		code    isa.Opcode
+		a, b    int64
+		wantNeg bool // predicate false
+	}{
+		{isa.CMPEQ, 3, 3, false}, {isa.CMPEQ, 3, 4, true},
+		{isa.CMPNE, 3, 4, false}, {isa.CMPNE, 3, 3, true},
+		{isa.CMPLE, 3, 3, false}, {isa.CMPLE, 4, 3, true},
+		{isa.CMPGE, 3, 3, false}, {isa.CMPGE, 2, 3, true},
+		{isa.CMPGT, 4, 3, false}, {isa.CMPGT, 3, 3, true},
+	}
+	for _, c := range cases {
+		p := ir.NewProgram("cmp")
+		out := p.Array("out", 1)
+		r := p.Region("r")
+		blk := r.NewBlock()
+		va := blk.MovI(c.a)
+		vb := blk.MovI(c.b)
+		o := r.NewOp(c.code)
+		o.Args[0], o.Args[1] = va, vb
+		o.Dst = r.NewValue(isa.RegPR)
+		o.Blk = blk
+		blk.Ops = append(blk.Ops, o)
+		// Materialize the predicate into memory through a branch.
+		then := r.NewBlock()
+		els := r.NewBlock()
+		join := r.NewBlock()
+		base := blk.AddrOf(out)
+		then.Store(out, base, 0, then.MovI(1))
+		then.JumpTo(join)
+		els.Store(out, base, 0, els.MovI(0))
+		els.JumpTo(join)
+		join.ExitRegion()
+		blk.BranchIf(o.Dst, then, els)
+		r.Seal()
+		res, err := Run(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Mem.LoadW(out.Base) == 1
+		if got == c.wantNeg {
+			t.Errorf("%v(%d,%d) = %v", c.code, c.a, c.b, got)
+		}
+	}
+}
+
+func TestMovAndImmediateForms(t *testing.T) {
+	p := ir.NewProgram("mv")
+	out := p.Array("out", 2)
+	r := p.Region("r")
+	b := r.NewBlock()
+	x := b.MovI(11)
+	mv := r.NewOp(isa.MOV)
+	mv.Args[0] = x
+	mv.Dst = r.NewValue(isa.RegGPR)
+	mv.Blk = b
+	b.Ops = append(b.Ops, mv)
+	base := b.AddrOf(out)
+	b.Store(out, base, 0, mv.Dst)
+	b.Store(out, base, 8, b.SubI(x, 4))
+	b.ExitRegion()
+	r.Seal()
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.LoadW(out.Base) != 11 || int64(res.Mem.LoadW(out.Base+8)) != 7 {
+		t.Errorf("mov/subi results: %d %d", res.Mem.LoadW(out.Base), int64(res.Mem.LoadW(out.Base+8)))
+	}
+}
+
+func TestFToIAndConversionRoundTrip(t *testing.T) {
+	f := func(x int32) bool {
+		p := ir.NewProgram("cv")
+		out := p.Array("out", 1)
+		r := p.Region("r")
+		b := r.NewBlock()
+		v := b.MovI(int64(x))
+		fv := b.IToF(v)
+		back := b.FToI(fv)
+		b.Store(out, b.AddrOf(out), 0, back)
+		b.ExitRegion()
+		r.Seal()
+		res, err := Run(p, Options{})
+		if err != nil {
+			return false
+		}
+		return int64(res.Mem.LoadW(out.Base)) == int64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpRejectsMachineOnlyOpcodes(t *testing.T) {
+	p := ir.NewProgram("bad")
+	r := p.Region("r")
+	b := r.NewBlock()
+	o := r.NewOp(isa.SEND)
+	o.Blk = b
+	b.Ops = append(b.Ops, o)
+	b.ExitRegion()
+	r.Seal()
+	if _, err := Run(p, Options{}); err == nil {
+		t.Error("SEND accepted by the interpreter")
+	}
+}

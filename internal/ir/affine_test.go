@@ -1,0 +1,163 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAffineDetectsRandomStrides: for i in [0,n): touch a[s*i + o] — the
+// analysis must recover stride 8s and offset 8o (byte units).
+func TestAffineDetectsRandomStrides(t *testing.T) {
+	f := func(s8, o8 uint8) bool {
+		s := int64(s8%7) + 1
+		o := int64(o8 % 8)
+		p := NewProgram("aff")
+		a := p.Array("a", 256)
+		r := p.Region("r")
+		pre := r.NewBlock()
+		base := pre.AddrOf(a)
+		after := BuildCountedLoop(pre, LoopSpec{Start: 0, Limit: 8, Step: 1}, func(b *Block, i Value) *Block {
+			idx := b.MulI(i, s)
+			idx2 := b.AddI(idx, o)
+			addr := b.Add(base, b.ShlI(idx2, 3))
+			v := b.Load(a, addr, 0)
+			_ = v
+			return b
+		})
+		after.ExitRegion()
+		r.Seal()
+		l := r.Loops()[0]
+		var load *Op
+		for _, op := range r.AllOps() {
+			if op.Code.IsLoad() {
+				load = op
+			}
+		}
+		e := r.AddrExprOf(load, l, nil)
+		return e.Known && e.Stride == 8*s && e.Offset == 8*o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemDepSymmetric: MemDep classification is order-insensitive for the
+// NoDep/Carried cases (the analysis looks at address sets, not direction).
+func TestMemDepConsistency(t *testing.T) {
+	p := NewProgram("sym")
+	a := p.Array("a", 64)
+	r := p.Region("r")
+	pre := r.NewBlock()
+	base := pre.AddrOf(a)
+	after := BuildCountedLoop(pre, LoopSpec{Start: 0, Limit: 16, Step: 1}, func(b *Block, i Value) *Block {
+		off := b.ShlI(i, 3)
+		ad := b.Add(base, off)
+		v := b.Load(a, ad, 0)
+		b.Store(a, ad, 128, v) // a[i+16] = a[i]
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+	l := r.Loops()[0]
+	var load, store *Op
+	for _, o := range r.AllOps() {
+		if o.Code.IsLoad() {
+			load = o
+		}
+		if o.Code.IsStore() {
+			store = o
+		}
+	}
+	d1 := r.MemDep(load, store, l, nil)
+	d2 := r.MemDep(store, load, l, nil)
+	if d1 != d2 {
+		t.Errorf("MemDep asymmetric: %v vs %v", d1, d2)
+	}
+	if d1 != MemCarriedDep {
+		t.Errorf("distance-16 dependence classified %v", d1)
+	}
+}
+
+// TestCountedLoopShapeProperty: BuildCountedLoop always yields a detectable
+// canonical induction for positive parameters.
+func TestCountedLoopShapeProperty(t *testing.T) {
+	f := func(start8, trips8, step8 uint8) bool {
+		start := int64(start8 % 16)
+		trips := int64(trips8%30) + 1
+		step := int64(step8%3) + 1
+		limit := start + trips*step
+		p := NewProgram("shape")
+		a := p.Array("a", 4)
+		r := p.Region("r")
+		pre := r.NewBlock()
+		base := pre.AddrOf(a)
+		after := BuildCountedLoop(pre, LoopSpec{Start: start, Limit: limit, Step: step}, func(b *Block, i Value) *Block {
+			b.Store(a, base, 0, i)
+			return b
+		})
+		after.ExitRegion()
+		r.Seal()
+		if p.Verify() != nil {
+			return false
+		}
+		loops := r.Loops()
+		if len(loops) != 1 || loops[0].Induction == nil {
+			return false
+		}
+		iv := loops[0].Induction
+		return iv.Step == step && iv.LimitImm == limit && iv.InitOp.Imm == start && iv.ExitOnFalse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDominatorsProperty: on random two-way CFGs, the entry dominates every
+// reachable block and idom chains terminate at the entry.
+func TestDominatorsProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		p := NewProgram("dom")
+		r := p.Region("r")
+		n := 6
+		blocks := make([]*Block, n)
+		for i := range blocks {
+			blocks[i] = r.NewBlock()
+		}
+		s := uint32(seed)
+		next := func(m int) int { s = s*1664525 + 1013904223; return int(s>>16) % m }
+		for i, b := range blocks {
+			if i == n-1 {
+				b.ExitRegion()
+				continue
+			}
+			// forward edges only (acyclic, always terminating)
+			t1 := i + 1 + next(n-i-1)
+			if next(2) == 0 {
+				b.JumpTo(blocks[t1])
+			} else {
+				t2 := i + 1 + next(n-i-1)
+				c := b.CmpLTI(b.MovI(int64(next(10))), 5)
+				b.BranchIf(c, blocks[t1], blocks[t2])
+			}
+		}
+		r.Seal()
+		dom := r.Dominators()
+		for _, b := range r.ReversePostorder() {
+			if !dom.Dominates(r.Entry, b) {
+				return false
+			}
+			// idom chain reaches the entry.
+			steps := 0
+			for x := b; x != r.Entry; steps++ {
+				x = dom.IDom(x)
+				if x == nil || steps > n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package ir
+
+// Clone deep-copies a region: blocks, ops and the value table. The clone
+// shares the program's data layout but is not appended to the program's
+// region list (it is a compiler-internal artifact, e.g. a per-core chunk of
+// a DOALL loop). The returned map relates original ops to their copies so
+// transforms can patch the clone.
+func (r *Region) Clone() (*Region, map[*Op]*Op) {
+	c := &Region{
+		ID:      r.ID,
+		Name:    r.Name,
+		Program: r.Program,
+		vals:    append([]valInfo(nil), r.vals...),
+		nextOp:  r.nextOp,
+	}
+	opMap := map[*Op]*Op{}
+	blkMap := map[*Block]*Block{}
+	for _, b := range r.Blocks {
+		nb := c.NewBlock()
+		blkMap[b] = nb
+	}
+	for _, b := range r.Blocks {
+		nb := blkMap[b]
+		nb.Kind = b.Kind
+		nb.Cond = b.Cond
+		for i, s := range b.Succ {
+			if s != nil {
+				nb.Succ[i] = blkMap[s]
+			}
+		}
+		for _, o := range b.Ops {
+			no := &Op{
+				ID:   o.ID,
+				Code: o.Code,
+				Dst:  o.Dst,
+				Args: o.Args,
+				Imm:  o.Imm,
+				F:    o.F,
+				Obj:  o.Obj,
+				Blk:  nb,
+			}
+			nb.Ops = append(nb.Ops, no)
+			opMap[o] = no
+		}
+	}
+	if r.Entry != nil {
+		c.Entry = blkMap[r.Entry]
+	}
+	c.Seal()
+	return c, opMap
+}
+
+// RemoveOp deletes an op from its block (used by transforms like dropping
+// worker-side stores when chunking a DOALL loop's prologue).
+func (b *Block) RemoveOp(o *Op) {
+	for i, x := range b.Ops {
+		if x == o {
+			b.Ops = append(b.Ops[:i], b.Ops[i+1:]...)
+			return
+		}
+	}
+}

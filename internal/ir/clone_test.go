@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"testing"
+
+	"voltron/internal/isa"
+)
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	_, r := buildSimpleLoop(t)
+	clone, opMap := r.Clone()
+	if err := clone.Verify(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if len(clone.Blocks) != len(r.Blocks) {
+		t.Fatalf("clone has %d blocks, want %d", len(clone.Blocks), len(r.Blocks))
+	}
+	for i, b := range r.Blocks {
+		cb := clone.Blocks[i]
+		if cb == b {
+			t.Fatal("block not copied")
+		}
+		if cb.Kind != b.Kind || cb.Cond != b.Cond || len(cb.Ops) != len(b.Ops) {
+			t.Fatalf("block %d shape differs", i)
+		}
+		for j, o := range b.Ops {
+			co := cb.Ops[j]
+			if co == o {
+				t.Fatal("op not copied")
+			}
+			if opMap[o] != co {
+				t.Fatal("op map inconsistent with order")
+			}
+			if co.Code != o.Code || co.Dst != o.Dst || co.Args != o.Args ||
+				co.Imm != o.Imm || co.Obj != o.Obj {
+				t.Fatalf("op %v cloned as %v", o, co)
+			}
+			if co.Blk != cb {
+				t.Fatal("cloned op block link wrong")
+			}
+		}
+	}
+	// Successor edges point at clone blocks, not originals.
+	for _, cb := range clone.Blocks {
+		for _, s := range cb.Succs() {
+			if s.Region != clone {
+				t.Fatal("clone successor points into the original region")
+			}
+		}
+	}
+	// Mutating the clone leaves the original intact.
+	clone.Blocks[0].Ops[0].Imm = 999
+	if r.Blocks[0].Ops[0].Imm == 999 {
+		t.Fatal("clone shares op storage with the original")
+	}
+}
+
+func TestCloneValueTableIndependent(t *testing.T) {
+	_, r := buildSimpleLoop(t)
+	clone, _ := r.Clone()
+	before := r.NumValues()
+	clone.NewValue(isa.RegGPR)
+	if r.NumValues() != before {
+		t.Error("allocating a value in the clone grew the original's table")
+	}
+	if clone.ValueClass(1) != r.ValueClass(1) {
+		t.Error("value classes not copied")
+	}
+}
+
+func TestRemoveOp(t *testing.T) {
+	p := NewProgram("rm")
+	a := p.Array("a", 4)
+	r := p.Region("r")
+	b := r.NewBlock()
+	base := b.AddrOf(a)
+	v := b.MovI(5)
+	st := b.Store(a, base, 0, v)
+	b.ExitRegion()
+	r.Seal()
+	n := len(b.Ops)
+	b.RemoveOp(st)
+	if len(b.Ops) != n-1 {
+		t.Fatalf("ops = %d, want %d", len(b.Ops), n-1)
+	}
+	for _, o := range b.Ops {
+		if o == st {
+			t.Fatal("op still present")
+		}
+	}
+	// Removing a missing op is a no-op.
+	b.RemoveOp(st)
+	if len(b.Ops) != n-1 {
+		t.Fatal("double remove changed the block")
+	}
+}

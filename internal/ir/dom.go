@@ -1,0 +1,174 @@
+package ir
+
+// Dominator analysis using the Cooper–Harvey–Kennedy iterative algorithm
+// over a reverse-postorder numbering. Postdominators are computed by running
+// the same algorithm on the reversed CFG with a virtual exit joining all
+// Exit blocks.
+
+// DomTree holds immediate (post)dominator information for a region.
+type DomTree struct {
+	// idom[b.ID] is the immediate dominator block id, or -1 for the root.
+	idom []int
+	// rpoNum[b.ID] is the block's reverse-postorder number.
+	rpoNum []int
+	blocks []*Block
+	post   bool
+}
+
+// ReversePostorder returns the region's blocks in reverse postorder from the
+// entry. Unreachable blocks are excluded.
+func (r *Region) ReversePostorder() []*Block {
+	seen := make([]bool, len(r.Blocks))
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs() {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if r.Entry != nil {
+		dfs(r.Entry)
+	}
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Dominators computes the dominator tree of the region.
+func (r *Region) Dominators() *DomTree {
+	rpo := r.ReversePostorder()
+	return buildDomTree(r, rpo, func(b *Block) []*Block { return b.Preds }, false)
+}
+
+// PostDominators computes the postdominator tree. Blocks from which no exit
+// is reachable (infinite loops; not produced by our builders) postdominate
+// nothing and report -1.
+func (r *Region) PostDominators() *DomTree {
+	// Build postorder of the reversed graph: DFS from each Exit block over
+	// predecessor edges.
+	seen := make([]bool, len(r.Blocks))
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, p := range b.Preds {
+			if !seen[p.ID] {
+				dfs(p)
+			}
+		}
+		order = append(order, b)
+	}
+	for _, b := range r.Blocks {
+		if b.Kind == Exit && !seen[b.ID] {
+			dfs(b)
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return buildDomTree(r, order, func(b *Block) []*Block { return b.Succs() }, true)
+}
+
+// buildDomTree runs CHK over the supplied order, where preds() yields the
+// incoming edges in the (possibly reversed) graph. Multiple roots (for
+// postdominators with several exits) are all treated as tree roots.
+func buildDomTree(r *Region, order []*Block, preds func(*Block) []*Block, post bool) *DomTree {
+	t := &DomTree{
+		idom:   make([]int, len(r.Blocks)),
+		rpoNum: make([]int, len(r.Blocks)),
+		blocks: make([]*Block, len(r.Blocks)),
+		post:   post,
+	}
+	for i := range t.idom {
+		t.idom[i] = -2 // unreachable
+		t.rpoNum[i] = -1
+	}
+	for i, b := range order {
+		t.rpoNum[b.ID] = i
+		t.blocks[b.ID] = b
+	}
+	isRoot := func(b *Block) bool {
+		if post {
+			return b.Kind == Exit
+		}
+		return b == r.Entry
+	}
+	for _, b := range order {
+		if isRoot(b) {
+			t.idom[b.ID] = -1
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if isRoot(b) {
+				continue
+			}
+			newIdom := -2
+			for _, p := range preds(b) {
+				if t.rpoNum[p.ID] < 0 || t.idom[p.ID] == -2 {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == -2 {
+					newIdom = p.ID
+				} else {
+					newIdom = t.intersect(newIdom, p.ID)
+				}
+			}
+			if newIdom != -2 && t.idom[b.ID] != newIdom {
+				t.idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b int) int {
+	for a != b {
+		for t.rpoNum[a] > t.rpoNum[b] {
+			a = t.idom[a]
+			if a < 0 {
+				return b
+			}
+		}
+		for t.rpoNum[b] > t.rpoNum[a] {
+			b = t.idom[b]
+			if b < 0 {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b, or nil for the root or
+// unreachable blocks.
+func (t *DomTree) IDom(b *Block) *Block {
+	id := t.idom[b.ID]
+	if id < 0 {
+		return nil
+	}
+	return t.blocks[id]
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id := t.idom[b.ID]
+		if id < 0 {
+			return false
+		}
+		b = t.blocks[id]
+	}
+}

@@ -1,0 +1,41 @@
+package ir
+
+// LoopSpec configures BuildCountedLoop.
+type LoopSpec struct {
+	Start int64
+	Limit int64 // iteration bound: i runs Start, Start+Step, ... while i < Limit
+	Step  int64 // must be > 0
+	// LimitVal, when non-zero, overrides Limit with a runtime value.
+	LimitVal Value
+}
+
+// BuildCountedLoop appends the canonical counted-loop shape to the region:
+//
+//	pre:    i = Start; jump header
+//	header: p = i < Limit; condbr p -> body, after
+//	body:   bodyFn(body, i); i += Step; jump header
+//	after:  (returned)
+//
+// The shape matches what the induction-variable detector recognizes, like
+// the canonical loops a C frontend would emit. bodyFn may create additional
+// blocks, returning the block that should receive the increment and
+// back-edge (return its argument for a single-block body).
+func BuildCountedLoop(pre *Block, spec LoopSpec, bodyFn func(body *Block, i Value) *Block) (after *Block) {
+	r := pre.Region
+	i := pre.MovI(spec.Start)
+	header := r.NewBlock()
+	body := r.NewBlock()
+	pre.JumpTo(header)
+	var p Value
+	if spec.LimitVal != NoValue {
+		p = header.CmpLT(i, spec.LimitVal)
+	} else {
+		p = header.CmpLTI(i, spec.Limit)
+	}
+	last := bodyFn(body, i)
+	last.AddTo(i, spec.Step)
+	last.JumpTo(header)
+	after = r.NewBlock()
+	header.BranchIf(p, body, after)
+	return after
+}

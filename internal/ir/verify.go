@@ -1,0 +1,152 @@
+package ir
+
+import (
+	"fmt"
+
+	"voltron/internal/isa"
+)
+
+// Verify checks structural invariants of the program's IR and returns the
+// first violation found, or nil. Workload constructors and compiler
+// transforms both run under it in tests.
+func (p *Program) Verify() error {
+	for _, r := range p.Regions {
+		if err := r.Verify(); err != nil {
+			return fmt.Errorf("region %q: %w", r.Name, err)
+		}
+	}
+	for i, a := range p.Arrays {
+		if a.ID != i {
+			return fmt.Errorf("array %q: id %d != index %d", a.Name, a.ID, i)
+		}
+		if a.Base%8 != 0 || a.Words <= 0 {
+			return fmt.Errorf("array %q: bad layout base=%d words=%d", a.Name, a.Base, a.Words)
+		}
+		for j, b := range p.Arrays {
+			if j != i && a.Base < b.End() && b.Base < a.End() {
+				return fmt.Errorf("arrays %q and %q overlap", a.Name, b.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify checks one region.
+func (r *Region) Verify() error {
+	if r.Entry == nil {
+		return fmt.Errorf("no entry block")
+	}
+	inRegion := map[*Block]bool{}
+	for i, b := range r.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("block %d has id %d", i, b.ID)
+		}
+		inRegion[b] = true
+	}
+	hasExit := false
+	for _, b := range r.Blocks {
+		switch b.Kind {
+		case Jump:
+			if b.Succ[0] == nil || !inRegion[b.Succ[0]] {
+				return fmt.Errorf("%v: jump to foreign/nil block", b)
+			}
+		case CondBr:
+			if b.Succ[0] == nil || b.Succ[1] == nil || !inRegion[b.Succ[0]] || !inRegion[b.Succ[1]] {
+				return fmt.Errorf("%v: condbr to foreign/nil block", b)
+			}
+			if b.Cond == NoValue || r.ValueClass(b.Cond) != isa.RegPR {
+				return fmt.Errorf("%v: condbr condition must be a predicate value", b)
+			}
+		case Exit:
+			hasExit = true
+		}
+		for _, o := range b.Ops {
+			if err := r.verifyOp(o, b); err != nil {
+				return fmt.Errorf("%v: %v: %w", b, o, err)
+			}
+		}
+	}
+	if !hasExit {
+		return fmt.Errorf("region has no exit block")
+	}
+	// Every used value must have at least one def.
+	defined := map[Value]bool{}
+	for _, b := range r.Blocks {
+		for _, o := range b.Ops {
+			if o.Dst != NoValue {
+				defined[o.Dst] = true
+			}
+		}
+	}
+	for _, b := range r.Blocks {
+		for _, o := range b.Ops {
+			for _, u := range o.Uses() {
+				if !defined[u] {
+					return fmt.Errorf("%v: %v uses undefined value v%d", b, o, u)
+				}
+			}
+		}
+		if b.Kind == CondBr && !defined[b.Cond] {
+			return fmt.Errorf("%v: condbr uses undefined value v%d", b, b.Cond)
+		}
+	}
+	return nil
+}
+
+func (r *Region) verifyOp(o *Op, b *Block) error {
+	if o.Blk != b {
+		return fmt.Errorf("op block link broken")
+	}
+	class := func(v Value) isa.RegClass { return r.ValueClass(v) }
+	wantDst := func(c isa.RegClass) error {
+		if o.Dst == NoValue || class(o.Dst) != c {
+			return fmt.Errorf("dst must be %v", c)
+		}
+		return nil
+	}
+	switch o.Code {
+	case isa.MOVI:
+		return wantDst(isa.RegGPR)
+	case isa.FMOVI:
+		return wantDst(isa.RegFPR)
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.MOV, isa.FTOI:
+		return wantDst(isa.RegGPR)
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMOV, isa.ITOF:
+		return wantDst(isa.RegFPR)
+	case isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE,
+		isa.FCMPLT, isa.PAND, isa.POR, isa.PNOT:
+		return wantDst(isa.RegPR)
+	case isa.LOAD:
+		if err := wantDst(isa.RegGPR); err != nil {
+			return err
+		}
+		return r.verifyAddr(o)
+	case isa.FLOAD:
+		if err := wantDst(isa.RegFPR); err != nil {
+			return err
+		}
+		return r.verifyAddr(o)
+	case isa.STORE, isa.FSTORE:
+		if o.Dst != NoValue {
+			return fmt.Errorf("store has a destination")
+		}
+		if o.Args[1] == NoValue {
+			return fmt.Errorf("store missing value operand")
+		}
+		return r.verifyAddr(o)
+	case isa.NOP:
+		return nil
+	}
+	return fmt.Errorf("opcode %v not allowed in IR", o.Code)
+}
+
+func (r *Region) verifyAddr(o *Op) error {
+	if o.Args[0] == NoValue || r.ValueClass(o.Args[0]) != isa.RegGPR {
+		return fmt.Errorf("memory base must be a GPR value")
+	}
+	if o.Obj != UnknownObj && (o.Obj < 0 || o.Obj >= len(r.Program.Arrays)) {
+		return fmt.Errorf("bad memory object id %d", o.Obj)
+	}
+	return nil
+}

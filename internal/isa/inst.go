@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is one machine operation in a core's instruction stream. Cores are
+// single-issue (the paper's evaluation configuration), so a core executes at
+// most one Inst per cycle; the per-core instruction stream is therefore a
+// flat slice of Inst and the cycle a block's n-th operation issues is
+// determined by the compiler's schedule.
+//
+// Field usage by opcode:
+//
+//	arithmetic/compare  Dst, Src1, Src2 (or Imm for the *I forms)
+//	MOVI/FMOVI          Dst, Imm / F
+//	LOAD/FLOAD          Dst, Src1 (base), Imm (byte offset)
+//	STORE/FSTORE        Src1 (base), Src2 (value), Imm (byte offset)
+//	PBR                 Dst (BTR), Imm (logical block id)
+//	BR                  Src1 (BTR), Src2 (PR predicate; invalid = always)
+//	PUT                 Src1 (value), Dir
+//	GETOP               Dst, Dir
+//	SEND                Src1 (value), Core (target)
+//	RECV                Dst, Core (sender)
+//	BCAST               Src1 (value) — delivered to all other group cores
+//	SPAWN               Core (target), Imm (start block id on target)
+//	MODESWITCH          Imm (0 = coupled, 1 = decoupled)
+//	TXBEGIN/TXCOMMIT    no operands
+type Inst struct {
+	Op   Opcode
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int64
+	F    float64
+	Dir  Direction
+	Core int
+	// IROp records the id of the IR operation this instruction was lowered
+	// from (-1 for compiler-inserted instructions); used for debugging and
+	// for attributing profile information.
+	IROp int
+}
+
+// Nop returns a no-operation filler instruction.
+func Nop() Inst { return Inst{Op: NOP, IROp: -1} }
+
+// Reads returns the registers the instruction reads.
+func (in Inst) Reads() []Reg {
+	var rs []Reg
+	if in.Src1.Valid() {
+		rs = append(rs, in.Src1)
+	}
+	if in.Src2.Valid() {
+		rs = append(rs, in.Src2)
+	}
+	return rs
+}
+
+// Writes returns the register the instruction writes, if any.
+func (in Inst) Writes() (Reg, bool) {
+	if in.Dst.Valid() {
+		return in.Dst, true
+	}
+	return Reg{}, false
+}
+
+// String renders the instruction in a readable assembler-like form.
+func (in Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case NOP, HALT, SLEEP, TXBEGIN, TXCOMMIT, TXABORT:
+	case MOVI:
+		fmt.Fprintf(&b, " %s = %d", in.Dst, in.Imm)
+	case FMOVI:
+		fmt.Fprintf(&b, " %s = %g", in.Dst, in.F)
+	case LOAD, FLOAD:
+		fmt.Fprintf(&b, " %s = [%s+%d]", in.Dst, in.Src1, in.Imm)
+	case STORE, FSTORE:
+		fmt.Fprintf(&b, " [%s+%d] = %s", in.Src1, in.Imm, in.Src2)
+	case PBR:
+		fmt.Fprintf(&b, " %s = B%d", in.Dst, in.Imm)
+	case BR:
+		if in.Src2.Valid() {
+			fmt.Fprintf(&b, " %s if %s", in.Src1, in.Src2)
+		} else {
+			fmt.Fprintf(&b, " %s", in.Src1)
+		}
+	case PUT:
+		fmt.Fprintf(&b, " %s -> %s", in.Src1, in.Dir)
+	case GETOP:
+		fmt.Fprintf(&b, " %s <- %s", in.Dst, in.Dir)
+	case SEND:
+		fmt.Fprintf(&b, " %s -> core%d", in.Src1, in.Core)
+	case RECV:
+		fmt.Fprintf(&b, " %s <- core%d", in.Dst, in.Core)
+	case BCAST:
+		fmt.Fprintf(&b, " %s -> all", in.Src1)
+	case SPAWN:
+		fmt.Fprintf(&b, " core%d @B%d", in.Core, in.Imm)
+	case MODESWITCH:
+		if in.Imm == 0 {
+			b.WriteString(" coupled")
+		} else {
+			b.WriteString(" decoupled")
+		}
+	default:
+		if in.Dst.Valid() {
+			fmt.Fprintf(&b, " %s =", in.Dst)
+		}
+		if in.Src1.Valid() {
+			fmt.Fprintf(&b, " %s", in.Src1)
+		}
+		if in.Src2.Valid() {
+			fmt.Fprintf(&b, ", %s", in.Src2)
+		} else if in.Op == ADD || in.Op == SUB || in.Op == MUL || in.Op == SHL || in.Op == SHR || in.Op == AND || in.Op == OR || in.Op == XOR || in.Op == DIV || in.Op == REM {
+			fmt.Fprintf(&b, ", %d", in.Imm)
+		}
+	}
+	return b.String()
+}
+
+// InstBytes is the size one instruction occupies in a core's instruction
+// memory; used by the L1 I-cache model.
+const InstBytes = 16

@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := NOP; op < numOpcodes; op++ {
+		s := op.String()
+		if s == "" || s[0] == 'o' && s != "or" {
+			t.Errorf("opcode %d has missing/placeholder name %q", op, s)
+		}
+	}
+}
+
+func TestOpcodeClassesDisjoint(t *testing.T) {
+	for op := NOP; op < numOpcodes; op++ {
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%v is both load and store", op)
+		}
+		if op.IsLoad() || op.IsStore() {
+			if !op.IsMemory() {
+				t.Errorf("%v is load/store but not memory", op)
+			}
+		}
+		if op.IsMemory() && op.IsBranch() {
+			t.Errorf("%v is both memory and branch", op)
+		}
+		if op.IsComm() && op.IsMemory() {
+			t.Errorf("%v is both comm and memory", op)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := NOP; op < numOpcodes; op++ {
+		if op.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", op, op.Latency())
+		}
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want int
+	}{
+		{ADD, 1}, {MUL, 3}, {DIV, 12}, {FADD, 4}, {FDIV, 12},
+		{LOAD, 2}, {FLOAD, 2}, {STORE, 1}, {BR, 1}, {NOP, 1},
+	}
+	for _, c := range cases {
+		if got := c.op.Latency(); got != c.want {
+			t.Errorf("%v latency = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{GPR(3), "r3"}, {FPR(0), "f0"}, {PR(7), "p7"}, {BTR(1), "b1"},
+		{Reg{}, "_"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg%v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	// Opposite is an involution and never maps a direction to itself.
+	f := func(b uint8) bool {
+		d := Direction(b % 4)
+		return d.Opposite() != d && d.Opposite().Opposite() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstReadsWrites(t *testing.T) {
+	add := Inst{Op: ADD, Dst: GPR(1), Src1: GPR(2), Src2: GPR(3)}
+	if r := add.Reads(); len(r) != 2 || r[0] != GPR(2) || r[1] != GPR(3) {
+		t.Errorf("add.Reads() = %v", r)
+	}
+	if w, ok := add.Writes(); !ok || w != GPR(1) {
+		t.Errorf("add.Writes() = %v, %v", w, ok)
+	}
+	st := Inst{Op: STORE, Src1: GPR(4), Src2: GPR(5), Imm: 8}
+	if _, ok := st.Writes(); ok {
+		t.Error("store should not write a register")
+	}
+	if _, ok := Nop().Writes(); ok {
+		t.Error("nop should not write a register")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: MOVI, Dst: GPR(1), Imm: 42}, "movi r1 = 42"},
+		{Inst{Op: LOAD, Dst: GPR(2), Src1: GPR(3), Imm: 16}, "load r2 = [r3+16]"},
+		{Inst{Op: STORE, Src1: GPR(3), Src2: GPR(2), Imm: 8}, "store [r3+8] = r2"},
+		{Inst{Op: PBR, Dst: BTR(0), Imm: 5}, "pbr b0 = B5"},
+		{Inst{Op: BR, Src1: BTR(0), Src2: PR(1)}, "br b0 if p1"},
+		{Inst{Op: BR, Src1: BTR(0)}, "br b0"},
+		{Inst{Op: PUT, Src1: GPR(9), Dir: East}, "put r9 -> east"},
+		{Inst{Op: GETOP, Dst: GPR(9), Dir: West}, "get r9 <- west"},
+		{Inst{Op: SEND, Src1: GPR(1), Core: 2}, "send r1 -> core2"},
+		{Inst{Op: RECV, Dst: PR(1), Core: 0}, "recv p1 <- core0"},
+		{Inst{Op: SPAWN, Core: 1, Imm: 3}, "spawn core1 @B3"},
+		{Inst{Op: MODESWITCH, Imm: 1}, "mode_switch decoupled"},
+		{Nop(), "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package isa
+
+import "fmt"
+
+// RegClass identifies one of the four register files of a Voltron core
+// (paper Figure 4(b)): general-purpose (GPR, int64), floating point
+// (FPR, float64), predicate (PR, bool) and branch target (BTR).
+type RegClass uint8
+
+// Register classes.
+const (
+	RegNone RegClass = iota
+	RegGPR
+	RegFPR
+	RegPR
+	RegBTR
+)
+
+// String returns the conventional register-file prefix for the class.
+func (c RegClass) String() string {
+	switch c {
+	case RegGPR:
+		return "r"
+	case RegFPR:
+		return "f"
+	case RegPR:
+		return "p"
+	case RegBTR:
+		return "b"
+	}
+	return "?"
+}
+
+// Reg names one register: a class plus an index. The simulator provides
+// unlimited virtual registers per class (see DESIGN.md §2 on the register
+// allocation substitution).
+type Reg struct {
+	Class RegClass
+	Index int
+}
+
+// Convenience constructors.
+func GPR(i int) Reg { return Reg{RegGPR, i} }
+func FPR(i int) Reg { return Reg{RegFPR, i} }
+func PR(i int) Reg  { return Reg{RegPR, i} }
+func BTR(i int) Reg { return Reg{RegBTR, i} }
+
+// Valid reports whether r names an actual register.
+func (r Reg) Valid() bool { return r.Class != RegNone }
+
+// String renders the register in assembler form, e.g. "r12" or "p3".
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "_"
+	}
+	return fmt.Sprintf("%s%d", r.Class, r.Index)
+}
+
+// Direction identifies a mesh neighbor for direct-mode PUT/GET. The paper's
+// PUT/GET carry a 2-bit direction specifier (east, west, north, south).
+type Direction uint8
+
+// Mesh directions.
+const (
+	East Direction = iota
+	West
+	North
+	South
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case East:
+		return "east"
+	case West:
+		return "west"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	}
+	return "dir?"
+}
+
+// Opposite returns the direction a matching GET must name to receive a PUT
+// sent toward d.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	default:
+		return North
+	}
+}

@@ -1,0 +1,160 @@
+package mem
+
+// Set-associative cache with LRU replacement. The caches in this model are
+// timing-and-coherence only: data lives in the functional backing store
+// (Flat); the caches track tags and MOESI states to produce latencies,
+// coherence traffic, and the conflict signals the transactional memory and
+// the stall accounting need.
+
+// lineState is a MOESI state.
+type lineState uint8
+
+// MOESI states. Plain (non-coherent) caches use only invalid/valid(=shared)
+// plus the dirty bit.
+const (
+	invalid lineState = iota
+	shared
+	exclusive
+	owned
+	modified
+)
+
+func (s lineState) String() string {
+	switch s {
+	case invalid:
+		return "I"
+	case shared:
+		return "S"
+	case exclusive:
+		return "E"
+	case owned:
+		return "O"
+	case modified:
+		return "M"
+	}
+	return "?"
+}
+
+type line struct {
+	tag   int64
+	state lineState
+	lru   int64
+}
+
+// CacheCfg sizes one cache.
+type CacheCfg struct {
+	SizeBytes int64
+	Assoc     int
+	LineBytes int64
+	HitLat    int64
+}
+
+// cache is the tag store.
+type cache struct {
+	cfg     CacheCfg
+	sets    [][]line
+	numSets int64
+	tick    int64
+}
+
+func newCache(cfg CacheCfg) *cache {
+	numSets := cfg.SizeBytes / (cfg.LineBytes * int64(cfg.Assoc))
+	if numSets < 1 {
+		numSets = 1
+	}
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &cache{cfg: cfg, sets: sets, numSets: numSets}
+}
+
+func (c *cache) index(addr int64) (set int64, tag int64) {
+	lineAddr := addr / c.cfg.LineBytes
+	return lineAddr % c.numSets, lineAddr / c.numSets
+}
+
+// lookup returns the way holding addr, or -1.
+func (c *cache) lookup(addr int64) int {
+	set, tag := c.index(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.state != invalid && l.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch refreshes LRU for a resident line.
+func (c *cache) touch(addr int64, way int) {
+	set, _ := c.index(addr)
+	c.tick++
+	c.sets[set][way].lru = c.tick
+}
+
+// stateOf returns the MOESI state of the line holding addr.
+func (c *cache) stateOf(addr int64) lineState {
+	w := c.lookup(addr)
+	if w < 0 {
+		return invalid
+	}
+	set, _ := c.index(addr)
+	return c.sets[set][w].state
+}
+
+// setState changes the state of a resident line (no-op when absent).
+func (c *cache) setState(addr int64, s lineState) {
+	w := c.lookup(addr)
+	if w < 0 {
+		return
+	}
+	set, _ := c.index(addr)
+	if s == invalid {
+		c.sets[set][w].state = invalid
+		return
+	}
+	c.sets[set][w].state = s
+}
+
+// fill inserts addr with the given state, evicting LRU; it returns the
+// victim's state and line base address (victim.state == invalid when no
+// writeback-relevant eviction happened).
+func (c *cache) fill(addr int64, s lineState) (victimState lineState, victimAddr int64) {
+	set, tag := c.index(addr)
+	// Prefer an invalid way.
+	victim := 0
+	for w := range c.sets[set] {
+		if c.sets[set][w].state == invalid {
+			victim = w
+			goto place
+		}
+	}
+	for w := range c.sets[set] {
+		if c.sets[set][w].lru < c.sets[set][victim].lru {
+			victim = w
+		}
+	}
+place:
+	v := c.sets[set][victim]
+	victimState = v.state
+	victimAddr = (v.tag*c.numSets + set) * c.cfg.LineBytes
+	c.tick++
+	c.sets[set][victim] = line{tag: tag, state: s, lru: c.tick}
+	return victimState, victimAddr
+}
+
+// flushAll invalidates every line, returning how many were dirty (M or O).
+func (c *cache) flushAll() int {
+	dirty := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			st := c.sets[s][w].state
+			if st == modified || st == owned {
+				dirty++
+			}
+			c.sets[s][w].state = invalid
+		}
+	}
+	return dirty
+}

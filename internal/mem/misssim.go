@@ -1,0 +1,21 @@
+package mem
+
+// MissSim is a standalone functional cache used by the profiler to estimate
+// per-operation L1 miss rates on a single-core run (the profile input to
+// eBUG's likely-missing-load weights and to the strategy selector).
+type MissSim struct {
+	c *cache
+}
+
+// NewMissSim builds a miss simulator with the given cache geometry.
+func NewMissSim(cfg CacheCfg) *MissSim { return &MissSim{c: newCache(cfg)} }
+
+// Access touches addr and reports whether it hit.
+func (m *MissSim) Access(addr int64) bool {
+	if w := m.c.lookup(addr); w >= 0 {
+		m.c.touch(addr, w)
+		return true
+	}
+	m.c.fill(addr, shared)
+	return false
+}

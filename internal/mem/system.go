@@ -1,0 +1,278 @@
+package mem
+
+// The memory system: per-core private L1 I and D caches kept coherent by a
+// bus-based snooping MOESI protocol, over a shared banked L2 and main
+// memory — the organization the paper evaluates (§5.1). The model is
+// timing-and-coherence: data lives in the functional Flat store; the tag
+// pipeline produces access latencies, bus serialization and coherence
+// transitions.
+
+// Config holds the memory-system parameters (defaults per the paper).
+type Config struct {
+	Cores  int
+	L1D    CacheCfg
+	L1I    CacheCfg
+	L2     CacheCfg
+	L2Lat  int64 // L2 access latency
+	MemLat int64 // main-memory latency
+	BusLat int64 // per bus transaction (snoop/transfer) overhead
+	// C2CLat is the latency of a cache-to-cache transfer on the bus.
+	C2CLat int64
+	// L2Banks is the number of independent L2 banks (the paper's L2 is
+	// banked): accesses to different banks overlap, same-bank accesses
+	// serialize.
+	L2Banks int
+}
+
+// DefaultConfig returns the paper's memory parameters for n cores: 4 kB
+// 2-way L1 I and D, shared 128 kB 4-way L2.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:   n,
+		L1D:     CacheCfg{SizeBytes: 4 << 10, Assoc: 2, LineBytes: 64, HitLat: 2},
+		L1I:     CacheCfg{SizeBytes: 4 << 10, Assoc: 2, LineBytes: 64, HitLat: 1},
+		L2:      CacheCfg{SizeBytes: 128 << 10, Assoc: 4, LineBytes: 64, HitLat: 10},
+		L2Lat:   10,
+		MemLat:  100,
+		BusLat:  3,
+		C2CLat:  8,
+		L2Banks: 4,
+	}
+}
+
+// Stats counts memory-system events.
+type Stats struct {
+	L1DHits, L1DMisses   []int64
+	L1IHits, L1IMisses   []int64
+	L2Hits, L2Misses     int64
+	C2CTransfers         int64
+	Invalidations        int64
+	Writebacks           int64
+	BusTransactions      int64
+	UpgradeTransactions  int64
+	TransactionConflicts int64
+}
+
+// System is the shared memory hierarchy of one simulated machine.
+type System struct {
+	Cfg  Config
+	Flat *Flat
+	TM   *TM
+
+	l1d []*cache
+	l1i []*cache
+	l2  *cache
+
+	busFreeAt int64
+	// bankFreeAt serializes same-bank L2 accesses.
+	bankFreeAt []int64
+	St         Stats
+}
+
+// NewSystem builds the hierarchy over a functional backing store.
+func NewSystem(cfg Config, flat *Flat) *System {
+	s := &System{Cfg: cfg, Flat: flat}
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1d = append(s.l1d, newCache(cfg.L1D))
+		s.l1i = append(s.l1i, newCache(cfg.L1I))
+	}
+	s.l2 = newCache(cfg.L2)
+	banks := cfg.L2Banks
+	if banks < 1 {
+		banks = 1
+	}
+	s.bankFreeAt = make([]int64, banks)
+	s.St.L1DHits = make([]int64, cfg.Cores)
+	s.St.L1DMisses = make([]int64, cfg.Cores)
+	s.St.L1IHits = make([]int64, cfg.Cores)
+	s.St.L1IMisses = make([]int64, cfg.Cores)
+	s.TM = NewTM(cfg.Cores)
+	return s
+}
+
+// acquireBus serializes bus transactions: the transaction starts no earlier
+// than now and the bus being free, and holds the bus for dur cycles. It
+// returns the completion time.
+func (s *System) acquireBus(now, dur int64) int64 {
+	start := now
+	if s.busFreeAt > start {
+		start = s.busFreeAt
+	}
+	s.busFreeAt = start + dur
+	s.St.BusTransactions++
+	return start + dur
+}
+
+// l2BankBusy is the per-access bank occupancy (pipelined banks).
+const l2BankBusy = 2
+
+// l2Access models a banked L2 lookup (and fill on miss); the request
+// serializes behind earlier accesses to the same bank (line-interleaved
+// banking), then pays the L2 latency and, on a miss, the memory latency.
+func (s *System) l2Access(addr, start int64) int64 {
+	bank := (addr / s.Cfg.L2.LineBytes) % int64(len(s.bankFreeAt))
+	if s.bankFreeAt[bank] > start {
+		start = s.bankFreeAt[bank]
+	}
+	var done int64
+	if w := s.l2.lookup(addr); w >= 0 {
+		s.l2.touch(addr, w)
+		s.St.L2Hits++
+		done = start + s.Cfg.L2Lat
+	} else {
+		s.St.L2Misses++
+		vs, _ := s.l2.fill(addr, modified) // L2 lines: valid/dirty folded into M
+		if vs == modified || vs == owned {
+			s.St.Writebacks++
+		}
+		done = start + s.Cfg.L2Lat + s.Cfg.MemLat
+	}
+	// Banks are pipelined: each access occupies its bank for the array
+	// access slot only, not the full latency.
+	s.bankFreeAt[bank] = start + l2BankBusy
+	return done
+}
+
+// Read performs a data read by core at time now; the returned doneAt is the
+// cycle the value is available (>= now + L1 hit latency). The word value
+// comes from the functional store.
+func (s *System) Read(core int, addr, now int64) (val uint64, doneAt int64) {
+	val = s.Flat.LoadW(addr)
+	s.TM.OnRead(core, addr)
+	c := s.l1d[core]
+	if w := c.lookup(addr); w >= 0 {
+		c.touch(addr, w)
+		s.St.L1DHits[core]++
+		return val, now + c.cfg.HitLat
+	}
+	s.St.L1DMisses[core]++
+	// Bus transaction: snoop other L1s.
+	t := s.acquireBus(now, s.Cfg.BusLat)
+	ownerFound := false
+	sharerFound := false
+	for i, o := range s.l1d {
+		if i == core {
+			continue
+		}
+		switch o.stateOf(addr) {
+		case modified, owned, exclusive:
+			ownerFound = true
+			// Owner supplies the line and degrades: M/E -> O keeps the
+			// dirty data supplier role (MOESI); E -> S would also be legal,
+			// we use O uniformly for suppliers of non-clean lines.
+			if o.stateOf(addr) == exclusive {
+				o.setState(addr, shared)
+			} else {
+				o.setState(addr, owned)
+			}
+		case shared:
+			sharerFound = true
+		}
+	}
+	var fillState lineState
+	switch {
+	case ownerFound:
+		s.St.C2CTransfers++
+		t += s.Cfg.C2CLat
+		fillState = shared
+	case sharerFound:
+		t = s.l2Access(addr, t)
+		fillState = shared
+	default:
+		t = s.l2Access(addr, t)
+		fillState = exclusive
+	}
+	s.fillL1D(core, addr, fillState)
+	return val, t + c.cfg.HitLat
+}
+
+// Write performs a data write by core at time now, returning the completion
+// cycle. The functional store is updated immediately (program order within
+// a core; cross-core ordering is the compiler's synchronization problem,
+// exactly as on the real machine).
+func (s *System) Write(core int, addr, now int64, val uint64) (doneAt int64) {
+	s.TM.OnWrite(core, addr, s.Flat.LoadW(addr))
+	s.Flat.StoreW(addr, val)
+	c := s.l1d[core]
+	switch c.stateOf(addr) {
+	case modified:
+		c.touch(addr, c.lookup(addr))
+		s.St.L1DHits[core]++
+		return now + c.cfg.HitLat
+	case exclusive:
+		c.setState(addr, modified)
+		c.touch(addr, c.lookup(addr))
+		s.St.L1DHits[core]++
+		return now + c.cfg.HitLat
+	case shared, owned:
+		// Upgrade: invalidate other copies over the bus.
+		t := s.acquireBus(now, s.Cfg.BusLat)
+		s.St.UpgradeTransactions++
+		s.invalidateOthers(core, addr)
+		c.setState(addr, modified)
+		c.touch(addr, c.lookup(addr))
+		s.St.L1DHits[core]++
+		return t + c.cfg.HitLat
+	}
+	// Write miss: read-for-ownership.
+	s.St.L1DMisses[core]++
+	t := s.acquireBus(now, s.Cfg.BusLat)
+	owner := false
+	for i, o := range s.l1d {
+		if i != core && o.stateOf(addr) != invalid {
+			if st := o.stateOf(addr); st == modified || st == owned || st == exclusive {
+				owner = true
+			}
+		}
+	}
+	s.invalidateOthers(core, addr)
+	if owner {
+		s.St.C2CTransfers++
+		t += s.Cfg.C2CLat
+	} else {
+		t = s.l2Access(addr, t)
+	}
+	s.fillL1D(core, addr, modified)
+	return t + c.cfg.HitLat
+}
+
+func (s *System) invalidateOthers(core int, addr int64) {
+	for i, o := range s.l1d {
+		if i == core {
+			continue
+		}
+		if o.stateOf(addr) != invalid {
+			o.setState(addr, invalid)
+			s.St.Invalidations++
+		}
+	}
+}
+
+func (s *System) fillL1D(core int, addr int64, st lineState) {
+	vs, _ := s.l1d[core].fill(addr, st)
+	if vs == modified || vs == owned {
+		s.St.Writebacks++
+		// Writeback occupies the bus briefly; folded into BusLat of the
+		// next transaction for simplicity.
+	}
+}
+
+// Fetch models an instruction fetch by core at time now and returns the
+// cycle the instruction is available.
+func (s *System) Fetch(core int, addr, now int64) (doneAt int64) {
+	c := s.l1i[core]
+	if w := c.lookup(addr); w >= 0 {
+		c.touch(addr, w)
+		s.St.L1IHits[core]++
+		return now + c.cfg.HitLat
+	}
+	s.St.L1IMisses[core]++
+	t := s.l2Access(addr, now)
+	c.fill(addr, shared)
+	return t + c.cfg.HitLat
+}
+
+// L1DState exposes a line's MOESI state for tests.
+func (s *System) L1DState(core int, addr int64) string {
+	return s.l1d[core].stateOf(addr).String()
+}

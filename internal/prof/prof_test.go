@@ -1,0 +1,200 @@
+package prof
+
+import (
+	"testing"
+
+	"voltron/internal/ir"
+)
+
+// doallLoop builds: for i in [0,n): dst[i] = src[i] * 2 (no carried deps).
+func doallLoop(n int64) *ir.Program {
+	p := ir.NewProgram("doall")
+	src := p.Array("src", n)
+	dst := p.Array("dst", n)
+	r := p.Region("loop")
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	db := pre.AddrOf(dst)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.Load(src, b.Add(sb, off), 0)
+		b.Store(dst, b.Add(db, off), 0, b.MulI(v, 2))
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+	return p
+}
+
+// carriedLoop builds: for i in [1,n): a[i] = a[i-1] + 1 (carried RAW).
+func carriedLoop(n int64) *ir.Program {
+	p := ir.NewProgram("carried")
+	a := p.Array("a", n)
+	r := p.Region("loop")
+	pre := r.NewBlock()
+	base := pre.AddrOf(a)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 1, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		ad := b.Add(base, off)
+		v := b.Load(a, ad, -8)
+		b.Store(a, ad, 0, b.AddI(v, 1))
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+	return p
+}
+
+func TestTripCount(t *testing.T) {
+	p := doallLoop(20)
+	pr, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := p.Regions[0].Blocks[1]
+	if got := pr.TripCount[header]; got != 20 {
+		t.Errorf("trip count = %g, want 20", got)
+	}
+}
+
+func TestCarriedDepDetection(t *testing.T) {
+	pd, err := Collect(doallLoop(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.CarriedDep) != 0 {
+		t.Errorf("doall loop flagged with carried deps: %v", pd.CarriedDep)
+	}
+	pc, err := Collect(carriedLoop(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.CarriedDep) != 1 {
+		t.Errorf("carried loop not flagged: %v", pc.CarriedDep)
+	}
+}
+
+func TestMissRates(t *testing.T) {
+	// A 4 kB L1 with 64 B lines: streaming 512 words (4 kB) of new data
+	// misses once per 8 words.
+	p := doallLoop(512)
+	pr, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadRate float64
+	found := false
+	for op, rate := range pr.MissRate {
+		if op.Code.IsLoad() {
+			loadRate = rate
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no load miss rate recorded")
+	}
+	if loadRate < 0.10 || loadRate > 0.15 {
+		t.Errorf("streaming load miss rate = %g, want ~0.125", loadRate)
+	}
+}
+
+func TestExecCounts(t *testing.T) {
+	p := doallLoop(10)
+	pr, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := range pr.ExecCount {
+		if op.Code.IsLoad() && pr.ExecCount[op] != 10 {
+			t.Errorf("load exec count = %d, want 10", pr.ExecCount[op])
+		}
+	}
+	if len(pr.RegionOps) != 1 || pr.RegionOps[0] == 0 {
+		t.Errorf("region ops = %v", pr.RegionOps)
+	}
+}
+
+func TestStallFractionSameProgram(t *testing.T) {
+	p := doallLoop(2048)
+	pr, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := pr.StallFraction(p.Regions[0], 100)
+	if f <= 0.1 {
+		t.Errorf("streaming loop stall fraction = %g, want substantial", f)
+	}
+	// A loop that re-traverses a cache-resident 64-word array 32 times has
+	// almost no misses after warmup.
+	p2 := ir.NewProgram("cached")
+	a := p2.Array("a", 64)
+	r := p2.Region("r")
+	pre := r.NewBlock()
+	base := pre.AddrOf(a)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: 32, Step: 1}, func(outer *ir.Block, _ ir.Value) *ir.Block {
+		return ir.BuildCountedLoop(outer, ir.LoopSpec{Start: 0, Limit: 64, Step: 1}, func(inner *ir.Block, j ir.Value) *ir.Block {
+			ad := inner.Add(base, inner.ShlI(j, 3))
+			v := inner.Load(a, ad, 0)
+			inner.Store(a, ad, 0, inner.AddI(v, 1))
+			return inner
+		})
+	})
+	after.ExitRegion()
+	r.Seal()
+	pr2, err := Collect(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := pr2.StallFraction(p2.Regions[0], 100)
+	if f2 >= f {
+		t.Errorf("cache-resident loop stall fraction %g >= streaming %g", f2, f)
+	}
+}
+
+func TestNestedLoopProfiling(t *testing.T) {
+	// outer 4 iterations, inner 8: inner trip count 8, outer 4.
+	p := ir.NewProgram("nested")
+	a := p.Array("a", 64)
+	r := p.Region("r")
+	pre := r.NewBlock()
+	base := pre.AddrOf(a)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: 4, Step: 1}, func(outer *ir.Block, i ir.Value) *ir.Block {
+		return ir.BuildCountedLoop(outer, ir.LoopSpec{Start: 0, Limit: 8, Step: 1}, func(inner *ir.Block, j ir.Value) *ir.Block {
+			row := inner.ShlI(i, 6) // i*8 words * 8 bytes
+			col := inner.ShlI(j, 3)
+			ad := inner.Add(base, inner.Add(row, col))
+			inner.Store(a, ad, 0, j)
+			return inner
+		})
+	})
+	after.ExitRegion()
+	r.Seal()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := p.Regions[0].Loops()
+	var innerH, outerH *ir.Block
+	for _, l := range loops {
+		if l.Parent != nil {
+			innerH = l.Header
+		} else {
+			outerH = l.Header
+		}
+	}
+	if innerH == nil || outerH == nil {
+		t.Fatal("nested loops not both detected")
+	}
+	if got := pr.TripCount[outerH]; got != 4 {
+		t.Errorf("outer trip = %g, want 4", got)
+	}
+	if got := pr.TripCount[innerH]; got != 8 {
+		t.Errorf("inner trip = %g, want 8", got)
+	}
+	if pr.CarriedDep[innerH] {
+		t.Error("disjoint stores flagged as carried dep in inner loop")
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats defines the cycle accounting the evaluation figures are
+// built from: per-core breakdowns of where time goes (busy, I-cache stalls,
+// D-cache stalls, receive stalls split into data and predicate, call/return
+// synchronization, lock-step stalls) and per-run mode occupancy.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies what a core did in one cycle.
+type Kind int
+
+// Cycle kinds. The receive-stall split (data vs predicate) and the
+// call/return sync category follow the paper's Figure 12.
+const (
+	Busy Kind = iota
+	IStall
+	DStall
+	RecvData
+	RecvPred
+	SendStall   // queue-mode back-pressure: the target receive queue is full
+	SyncCallRet // waiting at region boundaries / spawn-sleep barriers
+	Lockstep    // coupled mode: stalled because another core stalled
+	TMRollback  // cycles lost to transaction aborts and re-execution
+	Idle        // decoupled: sleeping with no work
+	numKinds
+)
+
+// Kinds lists all kinds in display order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// String names the kind as in the paper's stall-breakdown figure.
+func (k Kind) String() string {
+	switch k {
+	case Busy:
+		return "busy"
+	case IStall:
+		return "I-stalls"
+	case DStall:
+		return "D-stalls"
+	case RecvData:
+		return "recv stall"
+	case RecvPred:
+		return "predicate recv"
+	case SendStall:
+		return "send stall"
+	case SyncCallRet:
+		return "call return sync"
+	case Lockstep:
+		return "lockstep stall"
+	case TMRollback:
+		return "tm rollback"
+	case Idle:
+		return "idle"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Core accumulates one core's cycle breakdown.
+type Core struct {
+	Cycles [numKinds]int64
+}
+
+// Add charges n cycles of kind k.
+func (c *Core) Add(k Kind, n int64) { c.Cycles[k] += n }
+
+// Total returns the core's accounted cycles.
+func (c *Core) Total() int64 {
+	var t int64
+	for _, n := range c.Cycles {
+		t += n
+	}
+	return t
+}
+
+// Mode identifies an execution mode for occupancy accounting.
+type Mode int
+
+// Execution modes.
+const (
+	ModeCoupled Mode = iota
+	ModeDecoupled
+	numModes
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeCoupled {
+		return "coupled"
+	}
+	return "decoupled"
+}
+
+// Run aggregates a whole simulation.
+type Run struct {
+	Cores []Core
+	// TotalCycles is the wall-clock cycle count of the run.
+	TotalCycles int64
+	// ModeCycles is wall-clock time spent in each mode.
+	ModeCycles [numModes]int64
+	// TMConflicts counts transactional violations.
+	TMConflicts int64
+	// Spawns counts fine-grain thread launches.
+	Spawns int64
+}
+
+// NewRun allocates accounting for n cores.
+func NewRun(n int) *Run { return &Run{Cores: make([]Core, n)} }
+
+// Stall returns the summed stall cycles (everything but Busy and Idle)
+// across cores.
+func (r *Run) Stall(k Kind) int64 {
+	var t int64
+	for i := range r.Cores {
+		t += r.Cores[i].Cycles[k]
+	}
+	return t
+}
+
+// AvgStallFraction returns the average across cores of kind k's share of
+// the run, normalized to a reference cycle count (the paper normalizes to
+// serial execution time).
+func (r *Run) AvgStallFraction(k Kind, ref int64) float64 {
+	if ref == 0 || len(r.Cores) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range r.Cores {
+		sum += float64(r.Cores[i].Cycles[k]) / float64(ref)
+	}
+	return sum / float64(len(r.Cores))
+}
+
+// ModeFraction returns the share of wall-clock time spent in mode m.
+func (r *Run) ModeFraction(m Mode) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.ModeCycles[m]) / float64(r.TotalCycles)
+}
+
+// String summarizes the run for logs.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d", r.TotalCycles)
+	for _, k := range Kinds() {
+		if s := r.Stall(k); s > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, s)
+		}
+	}
+	return b.String()
+}

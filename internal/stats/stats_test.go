@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has placeholder name %q", k, s)
+		}
+		if other, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", k, other, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestCoreAccounting(t *testing.T) {
+	var c Core
+	c.Add(Busy, 10)
+	c.Add(DStall, 5)
+	c.Add(Busy, 2)
+	if c.Cycles[Busy] != 12 || c.Cycles[DStall] != 5 {
+		t.Errorf("cycles = %v", c.Cycles)
+	}
+	if c.Total() != 17 {
+		t.Errorf("total = %d, want 17", c.Total())
+	}
+}
+
+func TestRunStallSums(t *testing.T) {
+	r := NewRun(3)
+	r.Cores[0].Add(RecvData, 4)
+	r.Cores[1].Add(RecvData, 6)
+	r.Cores[2].Add(Busy, 100)
+	if r.Stall(RecvData) != 10 {
+		t.Errorf("Stall(RecvData) = %d, want 10", r.Stall(RecvData))
+	}
+	if r.Stall(Busy) != 100 {
+		t.Errorf("Stall(Busy) = %d", r.Stall(Busy))
+	}
+}
+
+func TestAvgStallFraction(t *testing.T) {
+	r := NewRun(2)
+	r.Cores[0].Add(DStall, 50)
+	r.Cores[1].Add(DStall, 100)
+	got := r.AvgStallFraction(DStall, 100)
+	if got != 0.75 {
+		t.Errorf("AvgStallFraction = %g, want 0.75", got)
+	}
+	if r.AvgStallFraction(DStall, 0) != 0 {
+		t.Error("zero reference should yield 0")
+	}
+}
+
+func TestModeFraction(t *testing.T) {
+	r := NewRun(1)
+	r.TotalCycles = 200
+	r.ModeCycles[ModeCoupled] = 50
+	r.ModeCycles[ModeDecoupled] = 150
+	if r.ModeFraction(ModeCoupled) != 0.25 || r.ModeFraction(ModeDecoupled) != 0.75 {
+		t.Errorf("fractions = %g / %g", r.ModeFraction(ModeCoupled), r.ModeFraction(ModeDecoupled))
+	}
+	empty := NewRun(1)
+	if empty.ModeFraction(ModeCoupled) != 0 {
+		t.Error("empty run fraction nonzero")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeCoupled.String() != "coupled" || ModeDecoupled.String() != "decoupled" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestRunStringMentionsNonzeroKinds(t *testing.T) {
+	r := NewRun(1)
+	r.TotalCycles = 42
+	r.Cores[0].Add(RecvPred, 7)
+	s := r.String()
+	if !strings.Contains(s, "cycles=42") || !strings.Contains(s, "predicate recv=7") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestFractionPropertiesQuick(t *testing.T) {
+	// AvgStallFraction is linear in the charge and inverse in the
+	// reference.
+	f := func(charge uint16, ref uint16) bool {
+		if ref == 0 {
+			return true
+		}
+		r := NewRun(1)
+		r.Cores[0].Add(DStall, int64(charge))
+		got := r.AvgStallFraction(DStall, int64(ref))
+		want := float64(charge) / float64(ref)
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

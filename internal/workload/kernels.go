@@ -1,0 +1,427 @@
+// Package workload provides the synthetic benchmark suite standing in for
+// the paper's MediaBench and SPEC programs (see DESIGN.md §2). Each
+// benchmark is an IR program composed from a library of kernels whose
+// dependence structure, cache behaviour and trip counts reproduce the
+// parallelism classes the paper measures: statistical DOALL loops (LLP),
+// miss-prone strand and pipeline loops (fine-grain TLP), wide independent
+// dependence chains (ILP), and serial recurrences (single-core regions).
+package workload
+
+import (
+	"fmt"
+
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+)
+
+// lcg is a tiny deterministic generator for reproducible data.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 33
+}
+
+// DoallMap appends a statistical DOALL region: dst[i] = f(src[i]) with a
+// chain of `work` ALU operations per element. No cross-iteration
+// dependences: the LLP kernel (gsmdecode Figure 7 shape).
+func DoallMap(p *ir.Program, name string, n int64, work int) {
+	rng := &lcg{s: uint64(n)*31 + uint64(work)}
+	src := p.Array(name+".src", n)
+	dst := p.Array(name+".dst", n)
+	for i := int64(0); i < n; i++ {
+		p.SetInit(src, i, int64(rng.next()%1000))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	db := pre.AddrOf(dst)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.Load(src, b.Add(sb, off), 0)
+		for k := 0; k < work; k++ {
+			switch k % 3 {
+			case 0:
+				v = b.MulI(v, 3)
+			case 1:
+				v = b.AddI(v, 17)
+			default:
+				v = b.Xor(v, b.ShlI(v, 1))
+			}
+		}
+		b.Store(dst, b.Add(db, off), 0, v)
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+}
+
+// DoallMapF is the floating-point DOALL kernel (swim/mgrid shape).
+func DoallMapF(p *ir.Program, name string, n int64, work int) {
+	rng := &lcg{s: uint64(n) * 97}
+	src := p.FloatArray(name+".fsrc", n)
+	dst := p.FloatArray(name+".fdst", n)
+	for i := int64(0); i < n; i++ {
+		p.SetInitF(src, i, float64(rng.next()%997)/7.0)
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	db := pre.AddrOf(dst)
+	half := pre.MovF(0.5)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.FLoad(src, b.Add(sb, off), 0)
+		for k := 0; k < work; k++ {
+			if k%2 == 0 {
+				v = b.FMul(v, half)
+			} else {
+				v = b.FAdd(v, half)
+			}
+		}
+		b.FStore(dst, b.Add(db, off), 0, v)
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+}
+
+// DoallReduce appends a DOALL reduction: out[0] = Σ src[i]*k — LLP with
+// accumulator expansion.
+func DoallReduce(p *ir.Program, name string, n int64) {
+	rng := &lcg{s: uint64(n) * 13}
+	src := p.Array(name+".rsrc", n)
+	out := p.Array(name+".rout", 1)
+	for i := int64(0); i < n; i++ {
+		p.SetInit(src, i, int64(rng.next()%256))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	acc := pre.MovI(0)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.Load(src, b.Add(sb, off), 0)
+		b.Accum(isa.ADD, acc, b.MulI(v, 5))
+		return b
+	})
+	ob := after.AddrOf(out)
+	after.Store(out, ob, 0, acc)
+	after.ExitRegion()
+	r.Seal()
+}
+
+// Strands appends the gzip Figure 8 shape: two miss-prone load streams
+// compared per iteration with a data-dependent exit, so the branch
+// predicate itself depends on loads (forcing predicate communication in
+// decoupled mode) and the loop is not a DOALL candidate.
+func Strands(p *ir.Program, name string, n int64, diverge int64) {
+	scan := p.Array(name+".scan", n)
+	match := p.Array(name+".match", n)
+	out := p.Array(name+".out", 1)
+	for i := int64(0); i < n; i++ {
+		p.SetInit(scan, i, i%251)
+		p.SetInit(match, i, i%251)
+	}
+	if diverge > 0 && diverge < n {
+		p.SetInit(match, diverge, 7777)
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(scan)
+	mb := pre.AddrOf(match)
+	i := pre.MovI(0)
+	body := r.NewBlock()
+	exit := r.NewBlock()
+	pre.JumpTo(body)
+	off := body.ShlI(i, 3)
+	sv := body.Load(scan, body.Add(sb, off), 0)
+	mv := body.Load(match, body.Add(mb, off), 0)
+	eq := body.CmpEQ(sv, mv)
+	body.AddTo(i, 1)
+	inRange := body.CmpLTI(i, n)
+	cont := body.PAnd(eq, inRange)
+	body.BranchIf(cont, body, exit)
+	ob := exit.AddrOf(out)
+	exit.Store(out, ob, 0, i)
+	exit.ExitRegion()
+	r.Seal()
+}
+
+// MultiChase appends k independent pointer chases through permutation
+// tables larger than the L1 — the memory-level-parallelism kernel
+// (179.art shape): serial per chain, but chains overlap their misses when
+// spread across cores in decoupled mode.
+func MultiChase(p *ir.Program, name string, chains int, tableWords int64, steps int64) {
+	r := p.Region(name)
+	pre := r.NewBlock()
+	outs := p.Array(name+".sums", int64(chains))
+	type chainState struct {
+		base ir.Value
+		idx  ir.Value
+		sum  ir.Value
+		arr  *ir.Array
+	}
+	var cs []chainState
+	for c := 0; c < chains; c++ {
+		arr := p.Array(fmt.Sprintf("%s.next%d", name, c), tableWords)
+		// A full-cycle permutation: next[i] = (i + stride) mod size with
+		// stride coprime to size, scaled to byte offsets of line-sized
+		// jumps so successive steps miss.
+		stride := tableWords/2 + 2*int64(c) + 9
+		for gcd(stride, tableWords) != 1 {
+			stride++
+		}
+		for i := int64(0); i < tableWords; i++ {
+			p.SetInit(arr, i, (i+stride)%tableWords)
+		}
+		cs = append(cs, chainState{
+			base: pre.AddrOf(arr),
+			idx:  pre.MovI(int64(c)),
+			sum:  pre.MovI(0),
+			arr:  arr,
+		})
+	}
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: steps, Step: 1}, func(b *ir.Block, _ ir.Value) *ir.Block {
+		for c := range cs {
+			addr := b.Add(cs[c].base, b.ShlI(cs[c].idx, 3))
+			next := b.Load(cs[c].arr, addr, 0)
+			b.Accum(isa.ADD, cs[c].sum, next)
+			// idx = next: re-assign via a MOV onto the existing value.
+			mv := b.Region.NewOp(isa.MOV)
+			mv.Args[0] = next
+			mv.Dst = cs[c].idx
+			mv.Blk = b
+			b.Ops = append(b.Ops, mv)
+		}
+		return b
+	})
+	ob := after.AddrOf(outs)
+	for c := range cs {
+		after.Store(outs, ob, int64(c)*8, cs[c].sum)
+	}
+	after.ExitRegion()
+	r.Seal()
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Pipeline appends the DSWP kernel: a pointer-chase recurrence (stage 1,
+// miss-prone) feeding a dependent computation and store (stage 2). The
+// chase recurrence disqualifies DOALL; the acyclic downstream makes a
+// pipeline.
+func Pipeline(p *ir.Program, name string, tableWords, n int64, work int) {
+	next := p.Array(name+".next", tableWords)
+	data := p.Array(name+".data", tableWords)
+	out := p.Array(name+".out", n)
+	stride := tableWords/2 + 3
+	for gcd(stride, tableWords) != 1 {
+		stride++
+	}
+	rng := &lcg{s: uint64(tableWords)}
+	for i := int64(0); i < tableWords; i++ {
+		p.SetInit(next, i, (i+stride)%tableWords)
+		p.SetInit(data, i, int64(rng.next()%5000))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	nb := pre.AddrOf(next)
+	db := pre.AddrOf(data)
+	ob := pre.AddrOf(out)
+	idx := pre.MovI(0)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		// Stage 1: chase.
+		naddr := b.Add(nb, b.ShlI(idx, 3))
+		nv := b.Load(next, naddr, 0)
+		mv := b.Region.NewOp(isa.MOV)
+		mv.Args[0] = nv
+		mv.Dst = idx
+		mv.Blk = b
+		b.Ops = append(b.Ops, mv)
+		// Stage 2: dependent work on the visited element.
+		v := b.Load(data, b.Add(db, b.ShlI(nv, 3)), 0)
+		for k := 0; k < work; k++ {
+			v = b.AddI(b.MulI(v, 3), 7)
+		}
+		b.Store(out, b.Add(ob, b.ShlI(i, 3)), 0, v)
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+}
+
+// IlpLoop appends a loop whose body holds `chains` independent dependence
+// chains of `depth` ALU ops over cache-resident data — the coupled-mode ILP
+// kernel (gsmdecode Figure 9 shape).
+func IlpLoop(p *ir.Program, name string, trips int64, chains, depth int) {
+	words := int64(chains) * 8
+	if words > 512 {
+		words = 512
+	}
+	x := p.Array(name+".x", words)
+	y := p.Array(name+".y", int64(chains)*8)
+	rng := &lcg{s: uint64(trips) + uint64(chains)}
+	for i := int64(0); i < words; i++ {
+		p.SetInit(x, i, int64(rng.next()%9999))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	xb := pre.AddrOf(x)
+	yb := pre.AddrOf(y)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		mask := b.AndI(i, words/8-1)
+		base := b.ShlI(mask, 6)
+		for c := 0; c < chains; c++ {
+			v := b.Load(x, b.Add(xb, base), int64(c%8)*8)
+			for k := 0; k < depth; k++ {
+				switch k % 3 {
+				case 0:
+					v = b.AddI(v, int64(c+k))
+				case 1:
+					v = b.Xor(v, mask)
+				default:
+					v = b.ShlI(v, 1)
+				}
+			}
+			b.Store(y, yb, int64(c)*64, v)
+		}
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+}
+
+// IlpButterfly appends the coupled-mode ILP kernel: each iteration loads a
+// vector of lanes, then runs several butterfly mixing levels where every
+// lane combines with a partner lane (dataflow crosses the whole vector, so
+// a spatial partition needs frequent inter-core register traffic — the
+// access pattern that rewards the 1-cycle direct-mode network over the
+// 3-cycle queue, per paper §3.2's "complicated data dependences" criterion).
+func IlpButterfly(p *ir.Program, name string, trips int64, lanes, levels int) {
+	words := int64(lanes)
+	x := p.Array(name+".bx", words*8)
+	y := p.Array(name+".by", words*8)
+	rng := &lcg{s: uint64(trips)*11 + uint64(lanes)}
+	for i := int64(0); i < words*8; i++ {
+		p.SetInit(x, i, int64(rng.next()%4096))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	xb := pre.AddrOf(x)
+	yb := pre.AddrOf(y)
+	// The lane vector lives in registers across iterations: the butterfly
+	// recurrence spans every lane, so no iteration can start before the
+	// previous one finishes — decoupled run-ahead cannot hide the queue
+	// latency of the cross-core mixing edges, but coupled mode's 1-cycle
+	// PUT/GET can feed them cheaply (the paper's case for coupled ILP).
+	w := make([]ir.Value, lanes)
+	for l := 0; l < lanes; l++ {
+		w[l] = pre.Load(x, xb, int64(l)*64)
+	}
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		fresh := b.Load(x, b.Add(xb, b.ShlI(b.AndI(i, 7), 3)), 0)
+		for lvl := 0; lvl < levels; lvl++ {
+			dist := 1 << uint(lvl%3)
+			vals := make([]ir.Value, lanes)
+			for l := 0; l < lanes; l++ {
+				partner := l ^ dist
+				if partner >= lanes {
+					partner = l
+				}
+				vals[l] = b.Add(b.MulI(w[l], 3), w[partner])
+			}
+			for l := 0; l < lanes; l++ {
+				// Re-assign the persistent lane register.
+				mv := b.Region.NewOp(isa.MOV)
+				mv.Args[0] = vals[l]
+				mv.Dst = w[l]
+				mv.Blk = b
+				b.Ops = append(b.Ops, mv)
+			}
+		}
+		// Mix in fresh data so values stay live and bounded.
+		mv := b.Region.NewOp(isa.XOR)
+		mv.Args[0] = w[0]
+		mv.Args[1] = fresh
+		mv.Dst = w[0]
+		mv.Blk = b
+		b.Ops = append(b.Ops, mv)
+		return b
+	})
+	for l := 0; l < lanes; l++ {
+		after.Store(y, yb, int64(l)*64, w[l])
+	}
+	after.ExitRegion()
+	r.Seal()
+}
+
+// SerialChain appends a serial recurrence with long-latency operations
+// (ADPCM/g721 shape): acc = (acc*p + x[i]) / q. Best on a single core.
+func SerialChain(p *ir.Program, name string, n int64) {
+	src := p.Array(name+".ssrc", n)
+	out := p.Array(name+".sout", 1)
+	rng := &lcg{s: uint64(n) * 7}
+	for i := int64(0); i < n; i++ {
+		p.SetInit(src, i, int64(rng.next()%128)+1)
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	acc := pre.MovI(1)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		off := b.ShlI(i, 3)
+		v := b.Load(src, b.Add(sb, off), 0)
+		t := b.Mul(acc, v)
+		t2 := b.Div(t, v) // long-latency serial chain
+		mv := b.Region.NewOp(isa.ADD)
+		mv.Args[0] = t2
+		mv.Imm = 1
+		mv.Dst = acc
+		mv.Blk = b
+		b.Ops = append(b.Ops, mv)
+		return b
+	})
+	ob := after.AddrOf(out)
+	after.Store(out, ob, 0, acc)
+	after.ExitRegion()
+	r.Seal()
+}
+
+// Branchy appends a loop with a data-dependent diamond per iteration
+// (parser/vortex shape): modest ILP, unpredictable control.
+func Branchy(p *ir.Program, name string, n int64) {
+	src := p.Array(name+".bsrc", n)
+	dst := p.Array(name+".bdst", n)
+	rng := &lcg{s: uint64(n) * 3}
+	for i := int64(0); i < n; i++ {
+		p.SetInit(src, i, int64(rng.next()%100))
+	}
+	r := p.Region(name)
+	pre := r.NewBlock()
+	sb := pre.AddrOf(src)
+	db := pre.AddrOf(dst)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: n, Step: 1}, func(body *ir.Block, i ir.Value) *ir.Block {
+		off := body.ShlI(i, 3)
+		v := body.Load(src, body.Add(sb, off), 0)
+		da := body.Add(db, off)
+		c := body.CmpLTI(v, 50)
+		then := r.NewBlock()
+		els := r.NewBlock()
+		join := r.NewBlock()
+		t1 := then.MulI(v, 2)
+		then.Store(dst, da, 0, then.AddI(t1, 1))
+		then.JumpTo(join)
+		e1 := els.SubI(v, 49)
+		els.Store(dst, da, 0, els.MulI(e1, 3))
+		els.JumpTo(join)
+		body.BranchIf(c, then, els)
+		return join
+	})
+	after.ExitRegion()
+	r.Seal()
+}

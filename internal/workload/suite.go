@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"voltron/internal/ir"
+)
+
+// The benchmark suite. Each entry composes kernels into a multi-region
+// program whose mix of parallelism classes follows the per-benchmark
+// breakdown the paper reports in Figure 3 (e.g. swim/mgrid are dominated by
+// DOALL loops, 179.art by miss-bound fine-grain TLP, gsmdecode by a mix of
+// LLP and ILP, gzip by strands, g721 by serial recurrences). Absolute sizes
+// are scaled for simulation speed; relative proportions are what matter.
+
+// Build constructs the named benchmark program.
+func Build(name string) (*ir.Program, error) {
+	mk, ok := suite[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+	p := ir.NewProgram(name)
+	mk(p)
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("benchmark %q: %w", name, err)
+	}
+	return p, nil
+}
+
+// Names lists all benchmarks in the paper's order.
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+var order = []string{
+	"052.alvinn", "056.ear", "132.ijpeg", "164.gzip", "171.swim",
+	"172.mgrid", "175.vpr", "177.mesa", "179.art", "183.equake",
+	"197.parser", "255.vortex", "256.bzip2", "cjpeg", "djpeg", "epic",
+	"g721decode", "g721encode", "gsmdecode", "gsmencode", "mpeg2dec",
+	"mpeg2enc", "rawcaudio", "rawdaudio", "unepic",
+}
+
+var suite = map[string]func(*ir.Program){
+	// SPEC FP / scientific: DOALL-dominated.
+	"052.alvinn": func(p *ir.Program) {
+		DoallMapF(p, "fprop", 256, 6)
+		DoallReduce(p, "werr", 256)
+		IlpButterfly(p, "update", 48, 8, 4)
+	},
+	"056.ear": func(p *ir.Program) {
+		DoallMapF(p, "filter", 192, 8)
+		Pipeline(p, "cochlea", 1024, 160, 4)
+		DoallReduce(p, "energy", 128)
+	},
+	"171.swim": func(p *ir.Program) {
+		DoallMapF(p, "calc1", 320, 8)
+		DoallMapF(p, "calc2", 320, 8)
+		DoallReduce(p, "check", 256)
+	},
+	"172.mgrid": func(p *ir.Program) {
+		DoallMapF(p, "resid", 384, 10)
+		DoallMap(p, "interp", 256, 6)
+		SerialChain(p, "norm", 24)
+	},
+	"179.art": func(p *ir.Program) {
+		MultiChase(p, "f1scan", 4, 1024, 220)
+		DoallReduce(p, "trainmatch", 192)
+		MultiChase(p, "y2", 3, 1024, 160)
+	},
+	"183.equake": func(p *ir.Program) {
+		Pipeline(p, "smvp", 1024, 200, 5)
+		DoallMapF(p, "timeint", 224, 6)
+		MultiChase(p, "disp", 3, 1024, 140)
+	},
+	// SPEC INT: pointer/branch heavy.
+	"164.gzip": func(p *ir.Program) {
+		Strands(p, "longest_match", 512, 420)
+		Branchy(p, "deflate", 160)
+		DoallMap(p, "fillwin", 128, 2)
+	},
+	"175.vpr": func(p *ir.Program) {
+		Branchy(p, "tryswap", 192)
+		IlpButterfly(p, "timing", 64, 8, 4)
+		MultiChase(p, "route", 2, 1024, 150)
+	},
+	"177.mesa": func(p *ir.Program) {
+		IlpButterfly(p, "shade", 96, 8, 5)
+		DoallMapF(p, "xform", 192, 6)
+		Branchy(p, "clip", 96)
+	},
+	"197.parser": func(p *ir.Program) {
+		Branchy(p, "match", 224)
+		SerialChain(p, "hash", 96)
+		MultiChase(p, "dict", 2, 1024, 120)
+	},
+	"255.vortex": func(p *ir.Program) {
+		Branchy(p, "validate", 192)
+		IlpButterfly(p, "mem", 64, 8, 3)
+		SerialChain(p, "chain", 64)
+	},
+	"256.bzip2": func(p *ir.Program) {
+		Strands(p, "sort", 448, 390)
+		DoallMap(p, "mtf", 160, 3)
+		SerialChain(p, "rle", 80)
+	},
+	// MediaBench.
+	"132.ijpeg": func(p *ir.Program) {
+		DoallMap(p, "dct", 192, 8)
+		IlpButterfly(p, "quant", 80, 8, 4)
+		Branchy(p, "huff", 96)
+	},
+	"cjpeg": func(p *ir.Program) {
+		DoallMap(p, "rgb2ycc", 224, 6)
+		IlpButterfly(p, "fdct", 96, 8, 5)
+		Branchy(p, "encode", 96)
+	},
+	"djpeg": func(p *ir.Program) {
+		DoallMap(p, "idct", 224, 6)
+		IlpButterfly(p, "upsample", 80, 8, 4)
+		SerialChain(p, "marker", 32)
+	},
+	"epic": func(p *ir.Program) {
+		Pipeline(p, "pyr", 1024, 220, 5)
+		MultiChase(p, "quantize", 3, 1024, 150)
+		DoallMap(p, "pack", 128, 3)
+	},
+	"unepic": func(p *ir.Program) {
+		Pipeline(p, "unpyr", 1024, 180, 4)
+		DoallMap(p, "unpack", 160, 4)
+		Branchy(p, "parse", 64)
+	},
+	"g721decode": func(p *ir.Program) {
+		SerialChain(p, "predictor", 128)
+		IlpButterfly(p, "recon", 96, 8, 4)
+		Branchy(p, "step", 96)
+	},
+	"g721encode": func(p *ir.Program) {
+		SerialChain(p, "adapt", 128)
+		IlpButterfly(p, "quan", 96, 8, 4)
+		Branchy(p, "span", 80)
+	},
+	"gsmdecode": func(p *ir.Program) {
+		DoallMap(p, "uf_rpf", 160, 4)
+		IlpButterfly(p, "ltp", 112, 8, 5)
+		DoallReduce(p, "postproc", 128)
+	},
+	"gsmencode": func(p *ir.Program) {
+		DoallReduce(p, "autocorr", 192)
+		IlpButterfly(p, "lpc", 96, 8, 5)
+		Strands(p, "ltpsearch", 320, 300)
+	},
+	"mpeg2dec": func(p *ir.Program) {
+		DoallMap(p, "idct", 224, 6)
+		MultiChase(p, "mc", 2, 1024, 130)
+		IlpButterfly(p, "saturate", 64, 8, 3)
+	},
+	"mpeg2enc": func(p *ir.Program) {
+		DoallReduce(p, "sad", 256)
+		DoallMap(p, "fdct", 192, 6)
+		Branchy(p, "mode", 96)
+	},
+	"rawcaudio": func(p *ir.Program) {
+		SerialChain(p, "adpcm", 192)
+		IlpButterfly(p, "clamp", 64, 8, 3)
+	},
+	"rawdaudio": func(p *ir.Program) {
+		SerialChain(p, "decode", 192)
+		IlpButterfly(p, "expand", 64, 8, 3)
+	},
+}
+
+// sanity check at init: the order list matches the suite map.
+func init() {
+	if len(order) != len(suite) {
+		panic(fmt.Sprintf("workload: order lists %d names, suite has %d", len(order), len(suite)))
+	}
+	var missing []string
+	for _, n := range order {
+		if _, ok := suite[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		panic(fmt.Sprintf("workload: order names missing from suite: %v", missing))
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/interp"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+)
+
+func TestAllBenchmarksVerifyAndInterpret(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := interp.Run(p, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DynOps < 1000 {
+				t.Errorf("benchmark too small: %d dynamic ops", res.DynOps)
+			}
+			if res.DynOps > 2_000_000 {
+				t.Errorf("benchmark too large for the harness: %d dynamic ops", res.DynOps)
+			}
+		})
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) != 25 {
+		t.Fatalf("suite has %d benchmarks, want 25", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Names() not deterministic")
+		}
+	}
+	a[0] = "mutated"
+	if Names()[0] == "mutated" {
+		t.Error("Names() exposes internal slice")
+	}
+}
+
+// TestSuiteCorrectUnderAllStrategies is the heavyweight oracle: every
+// benchmark, compiled every way, must reproduce the interpreter's memory.
+func TestSuiteCorrectUnderAllStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	strategies := []compiler.Strategy{compiler.Serial, compiler.ForceILP, compiler.ForceFTLP, compiler.ForceLLP, compiler.Hybrid}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := interp.Run(p, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := prof.Collect(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasFP := false
+			for _, arr := range p.Arrays {
+				if arr.Float {
+					hasFP = true
+				}
+			}
+			for _, s := range strategies {
+				for _, n := range []int{2, 4} {
+					cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr})
+					if err != nil {
+						t.Fatalf("%v/%d: compile: %v", s, n, err)
+					}
+					res, err := core.New(core.DefaultConfig(n)).Run(cp)
+					if err != nil {
+						t.Fatalf("%v/%d: run: %v", s, n, err)
+					}
+					if hasFP && (s == compiler.ForceLLP || s == compiler.Hybrid) {
+						checkClose(t, p, golden.Mem, res.Mem, s, n)
+						continue
+					}
+					if !res.Mem.Equal(golden.Mem) {
+						addr, a, b, _ := golden.Mem.FirstDiff(res.Mem)
+						t.Fatalf("%v/%d: memory mismatch at %#x: interp=%d machine=%d", s, n, addr, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+func checkClose(t *testing.T, p *ir.Program, want, got interface{ LoadW(int64) uint64 }, s compiler.Strategy, n int) {
+	t.Helper()
+	for _, arr := range p.Arrays {
+		for i := int64(0); i < arr.Words; i++ {
+			w, g := want.LoadW(arr.Base+i*8), got.LoadW(arr.Base+i*8)
+			if arr.Float {
+				fw, fg := ir.U2F(w), ir.U2F(g)
+				d := fw - fg
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-6*(1+absf(fw)) {
+					t.Fatalf("%v/%d: %s[%d]: interp=%g machine=%g", s, n, arr.Name, i, fw, fg)
+				}
+			} else if w != g {
+				t.Fatalf("%v/%d: %s[%d]: interp=%d machine=%d", s, n, arr.Name, i, w, g)
+			}
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,307 @@
+// Package xnet implements Voltron's dual-mode scalar operand network: a
+// 2-D mesh of register-value links between cores with a direct mode
+// (1 cycle/hop, sender and receiver synchronized — used in coupled
+// execution) and a queue mode (2 cycles + 1 cycle/hop, send queue, routed
+// delivery, CAM receive queue — used in decoupled execution), plus the 1-bit
+// stall bus used for lock-step execution (modeled in package core).
+package xnet
+
+import (
+	"fmt"
+
+	"voltron/internal/isa"
+)
+
+// Topology arranges n cores in a mesh; core id = y*Cols + x.
+type Topology struct {
+	Cols, Rows int
+}
+
+// TopologyFor returns the paper's arrangements: 1 core (1×1), 2 cores
+// (1×2 — adjacent), 4 cores (2×2), and generally a near-square mesh.
+func TopologyFor(n int) Topology {
+	switch {
+	case n <= 1:
+		return Topology{1, 1}
+	case n == 2:
+		return Topology{2, 1}
+	case n <= 4:
+		return Topology{2, (n + 1) / 2}
+	case n <= 8:
+		return Topology{4, (n + 3) / 4}
+	default:
+		cols := 4
+		return Topology{cols, (n + cols - 1) / cols}
+	}
+}
+
+// Cores returns the number of mesh positions.
+func (t Topology) Cores() int { return t.Cols * t.Rows }
+
+// Coord returns the (x, y) mesh position of a core.
+func (t Topology) Coord(core int) (x, y int) { return core % t.Cols, core / t.Cols }
+
+// Neighbor returns the core adjacent to c in direction d, or -1 at the mesh
+// edge.
+func (t Topology) Neighbor(c int, d isa.Direction) int {
+	x, y := t.Coord(c)
+	switch d {
+	case isa.East:
+		x++
+	case isa.West:
+		x--
+	case isa.North:
+		y--
+	case isa.South:
+		y++
+	}
+	if x < 0 || x >= t.Cols || y < 0 || y >= t.Rows {
+		return -1
+	}
+	return y*t.Cols + x
+}
+
+// Hops returns the Manhattan distance between two cores.
+func (t Topology) Hops(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Route returns the dimension-ordered (X then Y) hop sequence from a to b.
+func (t Topology) Route(a, b int) []isa.Direction {
+	var route []isa.Direction
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	for ax < bx {
+		route = append(route, isa.East)
+		ax++
+	}
+	for ax > bx {
+		route = append(route, isa.West)
+		ax--
+	}
+	for ay < by {
+		route = append(route, isa.South)
+		ay++
+	}
+	for ay > by {
+		route = append(route, isa.North)
+		ay--
+	}
+	return route
+}
+
+// DirectNet models the direct-mode wires: one register-width link in each
+// direction between adjacent cores, valid within a single cycle. The
+// coupled-mode compiler guarantees each PUT has a matching same-cycle GET;
+// the network checks that contract and reports violations as errors (they
+// indicate compiler bugs, not runtime conditions).
+type DirectNet struct {
+	T Topology
+	// wires posted during the current cycle, keyed by (from, to).
+	wires map[[2]int]uint64
+	cycle int64
+	// Transfers counts delivered values (for bandwidth accounting).
+	Transfers int64
+}
+
+// NewDirectNet creates the direct-mode network for a topology.
+func NewDirectNet(t Topology) *DirectNet {
+	return &DirectNet{T: t, wires: map[[2]int]uint64{}}
+}
+
+// BeginCycle clears the wires for a new lock-step cycle.
+func (d *DirectNet) BeginCycle(cycle int64) {
+	d.cycle = cycle
+	for k := range d.wires {
+		delete(d.wires, k)
+	}
+}
+
+// Put drives the wire from core `from` toward direction dir.
+func (d *DirectNet) Put(from int, dir isa.Direction, v uint64) error {
+	to := d.T.Neighbor(from, dir)
+	if to < 0 {
+		return fmt.Errorf("xnet: PUT off mesh edge: core %d dir %v", from, dir)
+	}
+	key := [2]int{from, to}
+	if _, dup := d.wires[key]; dup {
+		return fmt.Errorf("xnet: wire %d->%d driven twice in cycle %d", from, to, d.cycle)
+	}
+	d.wires[key] = v
+	return nil
+}
+
+// Broadcast drives all outgoing wires of a core (the BCAST operation).
+func (d *DirectNet) Broadcast(from int, v uint64) error {
+	for _, dir := range []isa.Direction{isa.East, isa.West, isa.North, isa.South} {
+		if d.T.Neighbor(from, dir) >= 0 {
+			if err := d.Put(from, dir, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Get reads the wire arriving at core `to` from direction dir; the matching
+// PUT must have been driven in the same cycle.
+func (d *DirectNet) Get(to int, dir isa.Direction) (uint64, error) {
+	from := d.T.Neighbor(to, dir)
+	if from < 0 {
+		return 0, fmt.Errorf("xnet: GET off mesh edge: core %d dir %v", to, dir)
+	}
+	v, ok := d.wires[[2]int{from, to}]
+	if !ok {
+		return 0, fmt.Errorf("xnet: GET with no matching PUT on wire %d->%d in cycle %d", from, to, d.cycle)
+	}
+	d.Transfers++
+	return v, nil
+}
+
+// message is one queue-mode value in flight or waiting in a receive queue.
+type message struct {
+	from, to int
+	val      uint64
+	spawn    bool
+	readyAt  int64
+	seq      int64
+}
+
+// QueueNet models the queue-mode network: SEND enqueues a routed message
+// (latency 2 + hops: one cycle into the send queue, one per hop, one out of
+// the receive queue), RECV performs a CAM lookup by sender id in the
+// receive queue. Spawn messages (start addresses) travel the same network
+// but match a separate RECV used by the idle-core loop.
+type QueueNet struct {
+	T Topology
+	// BaseLat is the fixed part of the latency (2 in the paper).
+	BaseLat int64
+	// HopLat is the per-hop latency (1 in the paper).
+	HopLat int64
+	// Cap bounds each (sender, receiver) pair's in-flight-plus-waiting
+	// messages. A full pair back-pressures the sender, bounding how far a
+	// producer thread runs ahead of its consumer. Capacity is per pair —
+	// not per receiver — so back-pressure only ever blocks a sender that
+	// is AHEAD of its receiver; around any cycle of cores the run-ahead
+	// deltas sum to zero, so a cycle of blocked senders is impossible
+	// (deadlock freedom). 0 means unbounded.
+	Cap int
+	// inflight per destination core.
+	queues [][]message
+	seq    int64
+	// Messages counts total sends; RecvWaits counts RECV polls that found
+	// nothing ready (an idle-cycle measure).
+	Messages  int64
+	RecvWaits int64
+}
+
+// NewQueueNet creates the queue-mode network with the paper's latencies and
+// a 16-entry receive queue per core.
+func NewQueueNet(t Topology) *QueueNet {
+	q := &QueueNet{T: t, BaseLat: 2, HopLat: 1, Cap: 16}
+	q.queues = make([][]message, t.Cores())
+	return q
+}
+
+// CanSend reports whether the (from, to) pair has room for another message.
+func (q *QueueNet) CanSend(from, to int) bool {
+	if q.Cap <= 0 {
+		return true
+	}
+	n := 0
+	for _, m := range q.queues[to] {
+		if m.from == from {
+			n++
+		}
+	}
+	return n < q.Cap
+}
+
+// Send enqueues a value from core `from` to core `to` at the given cycle.
+func (q *QueueNet) Send(from, to int, v uint64, cycle int64) {
+	q.seq++
+	hops := int64(q.T.Hops(from, to))
+	q.queues[to] = append(q.queues[to], message{
+		from: from, to: to, val: v,
+		readyAt: cycle + q.BaseLat + hops*q.HopLat,
+		seq:     q.seq,
+	})
+	q.Messages++
+}
+
+// SendSpawn enqueues a thread-start message carrying a code address.
+func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) {
+	q.seq++
+	hops := int64(q.T.Hops(from, to))
+	q.queues[to] = append(q.queues[to], message{
+		from: from, to: to, val: addr, spawn: true,
+		readyAt: cycle + q.BaseLat + hops*q.HopLat,
+		seq:     q.seq,
+	})
+	q.Messages++
+}
+
+// Recv pops the oldest non-spawn message from `from` that has arrived by
+// `cycle`. ok=false means the receiver must stall this cycle.
+func (q *QueueNet) Recv(to, from int, cycle int64) (uint64, bool) {
+	qq := q.queues[to]
+	best := -1
+	for i, m := range qq {
+		if m.spawn || m.from != from {
+			continue
+		}
+		if best < 0 || m.seq < qq[best].seq {
+			best = i
+		}
+	}
+	if best < 0 || qq[best].readyAt > cycle {
+		q.RecvWaits++
+		return 0, false
+	}
+	v := qq[best].val
+	q.queues[to] = append(qq[:best], qq[best+1:]...)
+	return v, true
+}
+
+// RecvSpawn pops the oldest spawn message for an idle core.
+func (q *QueueNet) RecvSpawn(to int, cycle int64) (uint64, bool) {
+	qq := q.queues[to]
+	best := -1
+	for i, m := range qq {
+		if !m.spawn {
+			continue
+		}
+		if best < 0 || m.seq < qq[best].seq {
+			best = i
+		}
+	}
+	if best < 0 || qq[best].readyAt > cycle {
+		return 0, false
+	}
+	v := qq[best].val
+	q.queues[to] = append(qq[:best], qq[best+1:]...)
+	return v, true
+}
+
+// Pending reports whether any message (arrived or in flight) is queued for
+// core `to` — used to distinguish idle from deadlocked cores.
+func (q *QueueNet) Pending(to int) bool { return len(q.queues[to]) > 0 }
+
+// PendingAny reports whether any message exists anywhere in the network.
+func (q *QueueNet) PendingAny() bool {
+	for i := range q.queues {
+		if len(q.queues[i]) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package xnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"voltron/internal/isa"
+)
+
+func TestTopologyFor(t *testing.T) {
+	cases := []struct {
+		n, cols, rows int
+	}{
+		{1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		top := TopologyFor(c.n)
+		if top.Cols != c.cols || top.Rows != c.rows {
+			t.Errorf("TopologyFor(%d) = %dx%d, want %dx%d", c.n, top.Cols, top.Rows, c.cols, c.rows)
+		}
+		if top.Cores() < c.n {
+			t.Errorf("TopologyFor(%d) holds only %d cores", c.n, top.Cores())
+		}
+	}
+}
+
+func TestNeighbor2x2(t *testing.T) {
+	top := TopologyFor(4)
+	// layout: 0 1 / 2 3
+	if top.Neighbor(0, isa.East) != 1 || top.Neighbor(0, isa.South) != 2 {
+		t.Error("core 0 neighbors wrong")
+	}
+	if top.Neighbor(0, isa.West) != -1 || top.Neighbor(0, isa.North) != -1 {
+		t.Error("core 0 edge not detected")
+	}
+	if top.Neighbor(3, isa.West) != 2 || top.Neighbor(3, isa.North) != 1 {
+		t.Error("core 3 neighbors wrong")
+	}
+}
+
+func TestHopsAndRouteAgree(t *testing.T) {
+	top := TopologyFor(4)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%4, int(b)%4
+		r := top.Route(x, y)
+		if len(r) != top.Hops(x, y) {
+			return false
+		}
+		// Walking the route lands on the destination.
+		c := x
+		for _, d := range r {
+			c = top.Neighbor(c, d)
+			if c < 0 {
+				return false
+			}
+		}
+		return c == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectPutGet(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	if err := d.Put(0, isa.East, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get(1, isa.West)
+	if err != nil || v != 42 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if d.Transfers != 1 {
+		t.Errorf("transfers = %d, want 1", d.Transfers)
+	}
+}
+
+func TestDirectGetWithoutPutFails(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	if _, err := d.Get(1, isa.West); err == nil {
+		t.Error("unmatched GET must error (compiler contract violation)")
+	}
+}
+
+func TestDirectWireClearsAcrossCycles(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	d.Put(0, isa.East, 7)
+	d.BeginCycle(2)
+	if _, err := d.Get(1, isa.West); err == nil {
+		t.Error("wire value must not persist to the next cycle")
+	}
+}
+
+func TestDirectDoubleDriveFails(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	d.Put(0, isa.East, 1)
+	if err := d.Put(0, isa.East, 2); err == nil {
+		t.Error("double-driven wire must error")
+	}
+}
+
+func TestDirectPutOffEdgeFails(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	if err := d.Put(0, isa.West, 1); err == nil {
+		t.Error("PUT off mesh edge must error")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	d := NewDirectNet(TopologyFor(4))
+	d.BeginCycle(1)
+	if err := d.Broadcast(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := d.Get(1, isa.West); err != nil || v != 5 {
+		t.Error("east neighbor missed broadcast")
+	}
+	if v, err := d.Get(2, isa.North); err != nil || v != 5 {
+		t.Error("south neighbor missed broadcast")
+	}
+}
+
+func TestQueueLatency(t *testing.T) {
+	q := NewQueueNet(TopologyFor(4))
+	q.Send(0, 3, 42, 100) // 2 hops in 2x2
+	if _, ok := q.Recv(3, 0, 103); ok {
+		t.Error("message arrived before 2+hops latency")
+	}
+	v, ok := q.Recv(3, 0, 104)
+	if !ok || v != 42 {
+		t.Errorf("Recv = %d, %v; want 42 at cycle 104", v, ok)
+	}
+}
+
+func TestQueueAdjacentLatency(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	q.Send(0, 1, 9, 10)
+	if _, ok := q.Recv(1, 0, 12); ok {
+		t.Error("arrived too early")
+	}
+	if v, ok := q.Recv(1, 0, 13); !ok || v != 9 {
+		t.Error("adjacent queue-mode latency should be 3 (2 + 1 hop)")
+	}
+}
+
+func TestQueueFIFOPerSender(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	q.Send(0, 1, 1, 0)
+	q.Send(0, 1, 2, 1)
+	v1, ok1 := q.Recv(1, 0, 100)
+	v2, ok2 := q.Recv(1, 0, 100)
+	if !ok1 || !ok2 || v1 != 1 || v2 != 2 {
+		t.Errorf("FIFO broken: got %d,%d", v1, v2)
+	}
+}
+
+func TestQueueCAMSelectsBySender(t *testing.T) {
+	q := NewQueueNet(TopologyFor(4))
+	q.Send(2, 3, 20, 0)
+	q.Send(1, 3, 10, 0)
+	// Receiver asks for core 1's message even though core 2's arrived too.
+	if v, ok := q.Recv(3, 1, 100); !ok || v != 10 {
+		t.Errorf("CAM lookup by sender failed: %d %v", v, ok)
+	}
+	if v, ok := q.Recv(3, 2, 100); !ok || v != 20 {
+		t.Errorf("remaining message lost: %d %v", v, ok)
+	}
+}
+
+func TestSpawnSeparateFromData(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	q.SendSpawn(0, 1, 7, 0)
+	q.Send(0, 1, 99, 0)
+	if _, ok := q.Recv(1, 0, 100); !ok {
+		t.Fatal("data recv failed")
+	}
+	addr, ok := q.RecvSpawn(1, 100)
+	if !ok || addr != 7 {
+		t.Errorf("spawn recv = %d, %v", addr, ok)
+	}
+	if _, ok := q.RecvSpawn(1, 100); ok {
+		t.Error("spawn message delivered twice")
+	}
+}
+
+func TestPending(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	if q.PendingAny() {
+		t.Error("fresh network pending")
+	}
+	q.Send(0, 1, 1, 0)
+	if !q.Pending(1) || q.Pending(0) {
+		t.Error("Pending wrong")
+	}
+	q.Recv(1, 0, 100)
+	if q.PendingAny() {
+		t.Error("drained network still pending")
+	}
+}
+
+func TestPairCapacityBackpressure(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	q.Cap = 4
+	for i := 0; i < 4; i++ {
+		if !q.CanSend(0, 1) {
+			t.Fatalf("pair full after %d sends, cap 4", i)
+		}
+		q.Send(0, 1, uint64(i), 0)
+	}
+	if q.CanSend(0, 1) {
+		t.Error("pair not full after cap sends")
+	}
+	// A different pair into the same receiver stays open (per-pair, not
+	// per-receiver, capacity — the deadlock-freedom property).
+	top4 := NewQueueNet(TopologyFor(4))
+	top4.Cap = 2
+	top4.Send(0, 3, 1, 0)
+	top4.Send(0, 3, 2, 0)
+	if top4.CanSend(0, 3) {
+		t.Error("pair 0->3 should be full")
+	}
+	if !top4.CanSend(1, 3) {
+		t.Error("pair 1->3 wrongly blocked by 0->3 traffic")
+	}
+	// Draining reopens the pair.
+	q.Recv(1, 0, 100)
+	if !q.CanSend(0, 1) {
+		t.Error("drained pair still blocked")
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	q := NewQueueNet(TopologyFor(2))
+	q.Cap = 0
+	for i := 0; i < 1000; i++ {
+		if !q.CanSend(0, 1) {
+			t.Fatal("unbounded queue reported full")
+		}
+		q.Send(0, 1, 1, 0)
+	}
+}
