@@ -7,26 +7,42 @@
 //	voltron-bench -fig 13         # one figure (3, 10, 11, 12, 13, 14)
 //	voltron-bench -fig 7          # the Figure 7-9 kernel speedups
 //	voltron-bench -bench cjpeg    # restrict to one benchmark
+//	voltron-bench -j 1            # force sequential evaluation
+//	voltron-bench -evalout BENCH_eval.json   # record wall-clock per figure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"voltron/internal/exp"
 )
+
+// evalTiming is one figure's wall-clock measurement for -evalout.
+type evalTiming struct {
+	Figure  string  `json:"figure"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (0 = all)")
 	bench := flag.String("bench", "", "restrict to one benchmark")
 	scaling := flag.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	workers := flag.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
+	evalOut := flag.String("evalout", "", "write per-figure wall-clock timings to this JSON file")
 	flag.Parse()
 
 	s := exp.NewSuite()
 	if *bench != "" {
 		s.Benchmarks = []string{*bench}
+	}
+	if *workers > 0 {
+		s.Workers = *workers
 	}
 	emit := func(t *exp.Table) {
 		if *jsonOut {
@@ -37,12 +53,24 @@ func main() {
 		}
 		t.Print(os.Stdout)
 	}
-	if *scaling {
-		tab, err := s.Scaling()
-		if err != nil {
+	var timings []evalTiming
+	timed := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
 			fatal(err)
 		}
-		emit(tab)
+		timings = append(timings, evalTiming{Figure: name, Seconds: time.Since(start).Seconds()})
+	}
+	if *scaling {
+		timed("scaling", func() error {
+			tab, err := s.Scaling()
+			if err != nil {
+				return err
+			}
+			emit(tab)
+			return nil
+		})
+		writeEval(*evalOut, s.Workers, timings)
 		return
 	}
 	figs := []int{3, 7, 10, 11, 12, 13, 14}
@@ -51,23 +79,53 @@ func main() {
 	}
 	for _, f := range figs {
 		if f >= 7 && f <= 9 {
-			res, err := exp.Fig7to9()
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println("Figures 7-9: kernel speedups on 2 cores (paper vs measured)")
-			for _, r := range res {
-				fmt.Printf("  %-22s paper %.2fx   measured %.2fx\n", r.Name, r.PaperSpeedup, r.Measured2Core)
-			}
-			fmt.Println()
+			timed("fig7-9", func() error {
+				res, err := exp.Fig7to9()
+				if err != nil {
+					return err
+				}
+				fmt.Println("Figures 7-9: kernel speedups on 2 cores (paper vs measured)")
+				for _, r := range res {
+					fmt.Printf("  %-22s paper %.2fx   measured %.2fx\n", r.Name, r.PaperSpeedup, r.Measured2Core)
+				}
+				fmt.Println()
+				return nil
+			})
 			continue
 		}
-		t, err := s.Figure(f)
-		if err != nil {
-			fatal(err)
-		}
-		emit(t)
-		fmt.Println()
+		timed(fmt.Sprintf("fig%d", f), func() error {
+			t, err := s.Figure(f)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			fmt.Println()
+			return nil
+		})
+	}
+	writeEval(*evalOut, s.Workers, timings)
+}
+
+// writeEval records the run's timings (plus the host parallelism they were
+// measured under) so speedup claims are reproducible.
+func writeEval(path string, workers int, timings []evalTiming) {
+	if path == "" {
+		return
+	}
+	out := struct {
+		HostCPUs int          `json:"host_cpus"`
+		Workers  int          `json:"workers"`
+		Figures  []evalTiming `json:"figures"`
+	}{HostCPUs: runtime.NumCPU(), Workers: workers, Figures: timings}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

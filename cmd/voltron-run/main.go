@@ -5,6 +5,7 @@
 //
 //	voltron-run -bench gsmdecode -cores 4 -strategy hybrid
 //	voltron-run -bench 179.art -cores 2 -strategy ftlp -v
+//	voltron-run -bench rawcaudio -j 1        # sequential measured selection
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "per-core stall breakdown")
 	tracePath := flag.String("trace", "", "write a cycle-by-cycle issue trace to this file")
+	workers := flag.Int("j", 0, "measured-selection workers (0 = all host CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -52,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 	run := func(s compiler.Strategy, n int, traced bool) *core.RunResult {
-		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr})
+		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"runtime"
 
 	"voltron/internal/core"
 	"voltron/internal/ir"
@@ -41,6 +42,12 @@ func (s Strategy) String() string {
 	return "strategy?"
 }
 
+// NoThreshold disables a threshold gate explicitly. The threshold fields
+// of Options use 0 as "unset, apply the paper's default", which makes a
+// literal zero threshold unrepresentable; pass NoThreshold (any negative
+// value) to request "no gate at all".
+const NoThreshold = -1.0
+
 // Options configures compilation.
 type Options struct {
 	Cores    int
@@ -48,14 +55,21 @@ type Options struct {
 	// Profile supplies trip counts, carried-dep observations and miss
 	// rates. When nil, a profile is collected automatically.
 	Profile *prof.Profile
+	// Workers bounds the goroutines used by measured strategy selection
+	// (candidate lowerings are simulated concurrently). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. The selected
+	// program is identical for every worker count.
+	Workers int
 	// DSWPThreshold is the estimated-speedup gate for pipeline extraction
-	// (paper: 1.25).
+	// (paper: 1.25). 0 means the default; NoThreshold disables the gate.
 	DSWPThreshold float64
 	// DOALLTripThreshold is the minimum profiled trip count for
-	// speculative loop parallelization.
+	// speculative loop parallelization. 0 means the default (8);
+	// NoThreshold admits every trip count.
 	DOALLTripThreshold float64
 	// MissStallThreshold is the memory-boundedness gate that sends regions
 	// to decoupled strand execution (fraction of estimated time in misses).
+	// 0 means the default; NoThreshold disables the gate.
 	MissStallThreshold float64
 	// DisableEBUGWeights turns eBUG into plain BUG for strand extraction
 	// (ablation).
@@ -68,33 +82,48 @@ type Options struct {
 	StaticSelection bool
 }
 
-// withDefaults fills unset thresholds.
+// withDefaults fills unset thresholds (0 = default) and resolves the
+// NoThreshold sentinel (negative = no gate, normalized to 0 so every
+// comparison site passes trivially).
 func (o Options) withDefaults() Options {
 	if o.Cores == 0 {
 		o.Cores = 1
 	}
-	if o.DSWPThreshold == 0 {
-		o.DSWPThreshold = 1.25
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.DOALLTripThreshold == 0 {
-		o.DOALLTripThreshold = 8
-	}
-	if o.MissStallThreshold == 0 {
-		o.MissStallThreshold = 0.15
-	}
+	o.DSWPThreshold = resolveThreshold(o.DSWPThreshold, 1.25)
+	o.DOALLTripThreshold = resolveThreshold(o.DOALLTripThreshold, 8)
+	o.MissStallThreshold = resolveThreshold(o.MissStallThreshold, 0.15)
 	return o
 }
 
+// resolveThreshold maps the Options threshold encoding to an effective
+// value: 0 is "unset" (use the paper's default). A negative sentinel
+// (NoThreshold) is preserved as-is — comparison sites treat any negative
+// threshold as a disabled gate — so applying withDefaults twice is safe.
+func resolveThreshold(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
 // Compile lowers a program for an n-core Voltron machine.
+//
+// Compile is safe to call concurrently on a shared *ir.Program: the only
+// in-place IR mutation (the classical cleanup passes) runs exactly once per
+// program under PrepareOnce, and everything after it only reads the IR.
 func Compile(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
 	opts = opts.withDefaults()
+	// Classical cleanup (in place; idempotent and semantics-preserving, so
+	// op-keyed profiles stay valid). Guarded so concurrent compiles of one
+	// cached program never race; it runs before Verify so no reader
+	// overlaps the mutation.
+	p.PrepareOnce(func() { Optimize(p) })
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("compile %q: %w", p.Name, err)
 	}
-	// Classical cleanup (in place; idempotent and semantics-preserving, so
-	// repeated compiles of one program are fine and op-keyed profiles stay
-	// valid).
-	Optimize(p)
 	if opts.Profile == nil && opts.Strategy != Serial {
 		pr, err := prof.Collect(p)
 		if err != nil {
@@ -113,74 +142,6 @@ func Compile(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
 			return nil, fmt.Errorf("region %q: %w", r.Name, err)
 		}
 		cp.Regions = append(cp.Regions, cr)
-	}
-	if err := cp.Validate(); err != nil {
-		return nil, err
-	}
-	return cp, nil
-}
-
-// compileMeasured performs region-by-region selection by measurement: each
-// region's candidate lowerings are simulated in an otherwise-serial program
-// and the candidate with the best region time wins (serial always
-// competes, so a technique is never applied where it hurts). For Hybrid the
-// candidates are every technique with statistical DOALL taken outright as
-// the most efficient parallelism (paper §4.2); for the Force* strategies
-// the single technique competes against serial only — the per-technique
-// bars of Figures 10/11.
-func compileMeasured(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
-	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
-	for _, r := range p.Regions {
-		cr, err := genSerial(r, opts.Cores)
-		if err != nil {
-			return nil, fmt.Errorf("region %q: %w", r.Name, err)
-		}
-		cp.Regions = append(cp.Regions, cr)
-	}
-	machine := core.New(core.DefaultConfig(opts.Cores))
-	for i, r := range p.Regions {
-		small := opts.Profile != nil && opts.Profile.RegionOps != nil &&
-			r.ID < len(opts.Profile.RegionOps) && opts.Profile.RegionOps[r.ID] < minRegionOps
-		if small {
-			continue
-		}
-		if opts.Strategy == Hybrid {
-			if cr, ok, err := tryDOALL(r, opts); err != nil {
-				return nil, err
-			} else if ok {
-				cp.Regions[i] = cr
-				continue
-			}
-		}
-		var candidates []*core.CompiledRegion
-		if opts.Strategy == Hybrid || opts.Strategy == ForceILP {
-			if coupled, _, _, err := genCoupledCandidate(r, opts); err == nil {
-				candidates = append(candidates, coupled)
-			}
-		}
-		if opts.Strategy == Hybrid || opts.Strategy == ForceFTLP {
-			if ftlp, err := genFTLP(r, opts); err == nil {
-				candidates = append(candidates, ftlp)
-			}
-		}
-		bestCycles := int64(-1)
-		serial := cp.Regions[i]
-		if res, err := machine.Run(cp); err == nil {
-			bestCycles = res.RegionCycles[i]
-		}
-		best := serial
-		for _, cand := range candidates {
-			cp.Regions[i] = cand
-			res, err := machine.Run(cp)
-			if err != nil {
-				continue // a misbehaving candidate never wins
-			}
-			if bestCycles < 0 || res.RegionCycles[i] < bestCycles {
-				bestCycles = res.RegionCycles[i]
-				best = cand
-			}
-		}
-		cp.Regions[i] = best
 	}
 	if err := cp.Validate(); err != nil {
 		return nil, err

@@ -327,8 +327,11 @@ func (g *coupledGen) scheduleBlock(b, next *ir.Block) (*slotGrid, error) {
 			// Push the fresh value from the primary to consuming cores
 			// that neither execute this op nor will recompute it.
 			c := g.a.Primary(o)
-			for t := range g.needOn[o.Dst] {
-				if g.a.On(o, t) {
+			// Iterate consumers in core order: transfer routing books
+			// network slots first-come-first-served, so the emitted code
+			// must not depend on map iteration order.
+			for t := 0; t < g.width; t++ {
+				if !g.needOn[o.Dst][t] || g.a.On(o, t) {
 					continue
 				}
 				arr, err := g.routeTransfer(grid, c, t, regOf(g.r, o.Dst), sched[o][c]+o.Code.Latency())

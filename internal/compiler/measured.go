@@ -1,0 +1,241 @@
+package compiler
+
+import (
+	"fmt"
+	"sync"
+
+	"voltron/internal/core"
+	"voltron/internal/ir"
+)
+
+// Measured strategy selection (paper §4.2): each region's candidate
+// lowerings are simulated in the context of the program compiled so far and
+// the candidate with the best region time wins (serial always competes, so
+// a technique is never applied where it hurts). For Hybrid the candidates
+// are every technique with statistical DOALL taken outright as the most
+// efficient parallelism; for the Force* strategies the single technique
+// competes against serial only — the per-technique bars of Figures 10/11.
+//
+// This is the compiler's hot path, so it is organized for host parallelism
+// while staying bit-identical to the sequential pipeline (Workers=1):
+//
+//   - the serial baseline is simulated ONCE per selection pass — one
+//     full-program run of the all-serial lowering yields every region's
+//     serial time at once, where the old pipeline re-simulated the whole
+//     program per region just to read RegionCycles[i];
+//   - candidate lowerings are generated concurrently per region (pure
+//     reads of the IR; every generator clones before mutating);
+//   - candidate simulations run on a bounded worker pool, one reusable
+//     core.Machine plus one cloned background CompiledProgram per worker,
+//     with a barrier per region so later regions are always measured
+//     against the committed winners of earlier ones;
+//   - the winner is chosen by fixed candidate order, never completion
+//     order, so the selected program does not depend on scheduling.
+
+// maxCandidatesPerRegion bounds the simulations one region's barrier can
+// overlap (coupled ILP and fine-grain TLP; DOALL is taken without a race).
+const maxCandidatesPerRegion = 2
+
+// regionPlan is the precomputed selection work for one region.
+type regionPlan struct {
+	small bool
+	// doall is the statistical-DOALL lowering, taken outright (Hybrid).
+	doall *core.CompiledRegion
+	// err is a candidate-generation failure that must abort compilation,
+	// reported in region order.
+	err error
+	// candidates in fixed order: coupled ILP first, then fine-grain TLP.
+	candidates []*core.CompiledRegion
+}
+
+func compileMeasured(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
+	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
+	for _, r := range p.Regions {
+		cr, err := genSerial(r, opts.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("region %q: %w", r.Name, err)
+		}
+		cp.Regions = append(cp.Regions, cr)
+	}
+	// A failed baseline is a hard error: without serial region times no
+	// candidate could ever be compared against serial, and silently
+	// letting the first non-failing candidate win would ship a lowering
+	// that was never measured to help.
+	baseline, err := core.New(core.DefaultConfig(opts.Cores)).Run(cp)
+	if err != nil {
+		return nil, fmt.Errorf("%s: serial baseline: %w", p.Name, err)
+	}
+	plans := planRegions(p, opts)
+	pool := newEvalPool(opts, cp)
+	defer pool.close()
+	for i := range p.Regions {
+		pl := plans[i]
+		if pl.err != nil {
+			return nil, pl.err
+		}
+		if pl.small {
+			continue // not worth parallelizing; stays serial
+		}
+		if pl.doall != nil {
+			cp.Regions[i] = pl.doall
+			pool.commit(i, pl.doall)
+			continue
+		}
+		if len(pl.candidates) == 0 {
+			continue
+		}
+		cycles := pool.measure(i, pl.candidates)
+		best, bestCycles := cp.Regions[i], baseline.RegionCycles[i]
+		for k, cand := range pl.candidates {
+			// Fixed candidate order: a candidate must strictly beat the
+			// best so far, so ties keep the earlier entry (serial first) —
+			// exactly the sequential pipeline's tie-breaking.
+			if cycles[k] >= 0 && cycles[k] < bestCycles {
+				best, bestCycles = cand, cycles[k]
+			}
+		}
+		cp.Regions[i] = best
+		pool.commit(i, best)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// planRegions generates every region's candidate lowerings concurrently
+// (bounded by opts.Workers). Generation only reads the shared IR, so the
+// fan-out is race-free; results are slotted by region index so the outcome
+// is independent of scheduling.
+func planRegions(p *ir.Program, opts Options) []*regionPlan {
+	plans := make([]*regionPlan, len(p.Regions))
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for i, r := range p.Regions {
+		wg.Add(1)
+		go func(i int, r *ir.Region) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			plans[i] = planRegion(r, opts)
+		}(i, r)
+	}
+	wg.Wait()
+	return plans
+}
+
+// planRegion computes one region's selection plan.
+func planRegion(r *ir.Region, opts Options) *regionPlan {
+	pl := &regionPlan{}
+	pl.small = opts.Profile != nil && opts.Profile.RegionOps != nil &&
+		r.ID < len(opts.Profile.RegionOps) && opts.Profile.RegionOps[r.ID] < minRegionOps
+	if pl.small {
+		return pl
+	}
+	if opts.Strategy == Hybrid {
+		if cr, ok, err := tryDOALL(r, opts); err != nil {
+			pl.err = err
+			return pl
+		} else if ok {
+			pl.doall = cr
+			return pl
+		}
+	}
+	if opts.Strategy == Hybrid || opts.Strategy == ForceILP {
+		if coupled, _, _, err := genCoupledCandidate(r, opts); err == nil {
+			pl.candidates = append(pl.candidates, coupled)
+		}
+	}
+	if opts.Strategy == Hybrid || opts.Strategy == ForceFTLP {
+		if ftlp, err := genFTLP(r, opts); err == nil {
+			pl.candidates = append(pl.candidates, ftlp)
+		}
+	}
+	return pl
+}
+
+// evalPool simulates candidate lowerings concurrently. Each worker owns one
+// reusable Machine and one clone of the background program, kept in sync
+// with the winners committed so far.
+type evalPool struct {
+	jobs    chan evalJob
+	wg      sync.WaitGroup
+	workers []*evalWorker
+}
+
+type evalWorker struct {
+	machine *core.Machine
+	bg      *core.CompiledProgram
+}
+
+type evalJob struct {
+	region int
+	cand   *core.CompiledRegion
+	cycles *int64
+	done   *sync.WaitGroup
+}
+
+func newEvalPool(opts Options, cp *core.CompiledProgram) *evalPool {
+	n := opts.Workers
+	if n > maxCandidatesPerRegion {
+		n = maxCandidatesPerRegion
+	}
+	if n < 1 {
+		n = 1
+	}
+	pool := &evalPool{jobs: make(chan evalJob)}
+	for w := 0; w < n; w++ {
+		ew := &evalWorker{
+			machine: core.New(core.DefaultConfig(cp.Cores)),
+			bg: &core.CompiledProgram{
+				Name: cp.Name, Cores: cp.Cores, Src: cp.Src,
+				Regions: append([]*core.CompiledRegion(nil), cp.Regions...),
+			},
+		}
+		pool.workers = append(pool.workers, ew)
+		pool.wg.Add(1)
+		go func() {
+			defer pool.wg.Done()
+			for job := range pool.jobs {
+				ew.bg.Regions[job.region] = job.cand
+				res, err := ew.machine.Run(ew.bg)
+				if err != nil {
+					*job.cycles = -1 // a misbehaving candidate never wins
+				} else {
+					*job.cycles = res.RegionCycles[job.region]
+				}
+				job.done.Done()
+			}
+		}()
+	}
+	return pool
+}
+
+// measure simulates one region's candidates and returns their region times
+// in candidate order (-1 marks a failed simulation). It returns only after
+// every candidate finished — the per-region barrier.
+func (p *evalPool) measure(region int, cands []*core.CompiledRegion) []int64 {
+	cycles := make([]int64, len(cands))
+	var done sync.WaitGroup
+	done.Add(len(cands))
+	for k, cand := range cands {
+		p.jobs <- evalJob{region: region, cand: cand, cycles: &cycles[k], done: &done}
+	}
+	done.Wait()
+	return cycles
+}
+
+// commit installs a region's winning lowering into every worker's
+// background program, so later regions are measured against the winners of
+// earlier ones — the same context the sequential pipeline used. Callers
+// only commit between barriers, when every worker is idle.
+func (p *evalPool) commit(region int, cr *core.CompiledRegion) {
+	for _, w := range p.workers {
+		w.bg.Regions[region] = cr
+	}
+}
+
+func (p *evalPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

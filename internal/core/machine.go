@@ -56,10 +56,16 @@ type RunResult struct {
 	RegionCycles []int64
 }
 
-// Machine simulates a Voltron system.
+// Machine simulates a Voltron system. A Machine may be reused for any
+// number of Run calls (reuse amortizes per-core scratch state across runs),
+// but it must not be shared by concurrent goroutines — create one Machine
+// per goroutine instead.
 type Machine struct {
 	cfg Config
 	top xnet.Topology
+	// scratch holds per-core runtime state reused across regions and runs
+	// to cut allocation churn on the measured-selection hot path.
+	scratch []*coreState
 }
 
 // New creates a machine.
@@ -109,6 +115,19 @@ func (cs *coreState) set(r isa.Reg, v uint64, readyAt int64) {
 func (cs *coreState) readyAt(r isa.Reg) int64 {
 	cs.ensure(r)
 	return cs.ready[classIdx(r.Class)][r.Index]
+}
+
+// reset reinitializes a recycled coreState for a new region, keeping the
+// register-file backing arrays (truncated to zero length, so ensure()
+// repopulates them with zeros exactly as a fresh coreState would).
+func (cs *coreState) reset(id int, awake bool) {
+	regs, ready := cs.regs, cs.ready
+	for i := range regs {
+		regs[i] = regs[i][:0]
+		ready[i] = ready[i][:0]
+	}
+	*cs = coreState{id: id, awake: awake}
+	cs.regs, cs.ready = regs, ready
 }
 
 // runState holds the machinery of one simulation.
@@ -222,7 +241,11 @@ func (rs *runState) runRegion(id int, cr *CompiledRegion) error {
 	rs.regionID = id
 	rs.cores = rs.cores[:0]
 	for c := 0; c < rs.m.cfg.Cores; c++ {
-		cs := &coreState{id: c, awake: cr.StartAwake[c]}
+		if c == len(rs.m.scratch) {
+			rs.m.scratch = append(rs.m.scratch, &coreState{})
+		}
+		cs := rs.m.scratch[c]
+		cs.reset(c, cr.StartAwake[c])
 		rs.cores = append(rs.cores, cs)
 		if cs.awake {
 			rs.setPC(cs, cr.Entry[c])

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/prof"
+	"voltron/internal/workload"
+)
+
+// TestMachineScratchReuseDeterministic runs the same compiled program
+// repeatedly on one Machine. The per-core scratch states are recycled
+// across regions and runs, so any stale register or queue state leaking
+// through reset() would show up as differing results.
+func TestMachineScratchReuseDeterministic(t *testing.T) {
+	p, err := workload.Build("gsmdecode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := prof.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := compiler.Compile(p, compiler.Options{Cores: 4, Strategy: compiler.Hybrid, Profile: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(core.DefaultConfig(4))
+	first, err := m.Run(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := m.Run(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.TotalCycles != first.TotalCycles {
+			t.Fatalf("run %d: %d cycles, first run %d — scratch reuse leaked state",
+				i+2, again.TotalCycles, first.TotalCycles)
+		}
+		if !reflect.DeepEqual(again.RegionCycles, first.RegionCycles) {
+			t.Fatalf("run %d: region cycles diverge from first run", i+2)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -104,14 +105,24 @@ func (t *Table) WriteJSON(w io.Writer) error {
 }
 
 // Suite caches compiled runs so figures sharing configurations do not
-// re-simulate.
+// re-simulate. A Suite is safe for concurrent use: several figure
+// harnesses may share one Suite, each (bench, strategy, cores)
+// configuration is simulated exactly once (per-key singleflight), and the
+// number of concurrent simulations is bounded by Workers.
 type Suite struct {
 	mu    sync.Mutex
-	runs  map[runKey]*core.RunResult
-	profs map[string]*prof.Profile
-	progs map[string]*ir.Program
+	runs  map[runKey]*flight[*core.RunResult]
+	profs map[string]*flight[*prof.Profile]
+	progs map[string]*flight[*ir.Program]
 	// Benchmarks restricts the suite (defaults to all 25).
 	Benchmarks []string
+	// Workers bounds concurrent simulations (and is forwarded to the
+	// compiler's measured-selection pool). Defaults to
+	// runtime.GOMAXPROCS(0); set it before the first Run. 1 gives fully
+	// sequential evaluation. Results are identical for every value.
+	Workers int
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 type runKey struct {
@@ -120,86 +131,120 @@ type runKey struct {
 	cores int
 }
 
+// flight is one singleflight slot: the first claimant computes the value
+// and closes done; everyone else blocks on done. Simulations are
+// deterministic, so errors are cached alongside values.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// once returns the flight for key in m, claiming it (claimed=true) when the
+// caller is the first and must compute the value.
+func once[K comparable, T any](s *Suite, m map[K]*flight[T], key K) (f *flight[T], claimed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := m[key]; ok {
+		return f, false
+	}
+	f = &flight[T]{done: make(chan struct{})}
+	m[key] = f
+	return f, true
+}
+
+// do resolves key in m via singleflight, invoking fn at most once.
+func do[K comparable, T any](s *Suite, m map[K]*flight[T], key K, fn func() (T, error)) (T, error) {
+	f, claimed := once(s, m, key)
+	if claimed {
+		f.val, f.err = fn()
+		close(f.done)
+	} else {
+		<-f.done
+	}
+	return f.val, f.err
+}
+
 // NewSuite creates an empty result cache over the full benchmark list.
 func NewSuite() *Suite {
 	return &Suite{
-		runs:       map[runKey]*core.RunResult{},
-		profs:      map[string]*prof.Profile{},
-		progs:      map[string]*ir.Program{},
+		runs:       map[runKey]*flight[*core.RunResult]{},
+		profs:      map[string]*flight[*prof.Profile]{},
+		progs:      map[string]*flight[*ir.Program]{},
 		Benchmarks: workload.Names(),
+		Workers:    runtime.GOMAXPROCS(0),
 	}
 }
+
+// workers returns the effective simulation bound.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire takes one slot of the shared simulation pool.
+func (s *Suite) acquire() {
+	s.semOnce.Do(func() { s.sem = make(chan struct{}, s.workers()) })
+	s.sem <- struct{}{}
+}
+
+func (s *Suite) release() { <-s.sem }
 
 // programFor builds (and caches) one benchmark. The same IR instance must
 // serve profiling and every compile: profiles are keyed by op identity.
+// (Concurrent compiles of that shared instance are race-free: the
+// compiler's only in-place pass is guarded by ir.Program.PrepareOnce.)
 func (s *Suite) programFor(bench string) (*ir.Program, error) {
-	s.mu.Lock()
-	p, ok := s.progs[bench]
-	s.mu.Unlock()
-	if ok {
-		return p, nil
-	}
-	p, err := workload.Build(bench)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.progs[bench] = p
-	s.mu.Unlock()
-	return p, nil
+	return do(s, s.progs, bench, func() (*ir.Program, error) {
+		return workload.Build(bench)
+	})
 }
 
-// profileFor collects (and caches) the profile of one benchmark.
+// profileFor collects (and caches) the profile of one benchmark. Profiling
+// always completes before the benchmark's first compile (Run collects the
+// profile first), so the profiling interpreter never overlaps the
+// compiler's one-shot IR cleanup.
 func (s *Suite) profileFor(bench string) (*prof.Profile, error) {
-	s.mu.Lock()
-	pr, ok := s.profs[bench]
-	s.mu.Unlock()
-	if ok {
-		return pr, nil
-	}
-	p, err := s.programFor(bench)
-	if err != nil {
-		return nil, err
-	}
-	pr, err = prof.Collect(p)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.profs[bench] = pr
-	s.mu.Unlock()
-	return pr, nil
+	return do(s, s.profs, bench, func() (*prof.Profile, error) {
+		p, err := s.programFor(bench)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Collect(p)
+	})
 }
 
-// Run returns the (cached) simulation of one configuration.
+// Run returns the (cached) simulation of one configuration. Concurrent
+// calls with the same key share one simulation.
 func (s *Suite) Run(bench string, strat compiler.Strategy, cores int) (*core.RunResult, error) {
-	key := runKey{bench, strat, cores}
-	s.mu.Lock()
-	res, ok := s.runs[key]
-	s.mu.Unlock()
-	if ok {
+	return do(s, s.runs, runKey{bench, strat, cores}, func() (*core.RunResult, error) {
+		p, err := s.programFor(bench)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := s.profileFor(bench)
+		if err != nil {
+			return nil, err
+		}
+		// Compile and simulate under the bounded pool. The slot is taken
+		// only here — never while waiting on another flight — so nested
+		// cache fills cannot deadlock the pool.
+		s.acquire()
+		defer s.release()
+		cp, err := compiler.Compile(p, compiler.Options{
+			Cores: cores, Strategy: strat, Profile: pr, Workers: s.workers(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
+		}
 		return res, nil
-	}
-	p, err := s.programFor(bench)
-	if err != nil {
-		return nil, err
-	}
-	pr, err := s.profileFor(bench)
-	if err != nil {
-		return nil, err
-	}
-	cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: strat, Profile: pr})
-	if err != nil {
-		return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
-	}
-	res, err = core.New(core.DefaultConfig(cores)).Run(cp)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)
-	}
-	s.mu.Lock()
-	s.runs[key] = res
-	s.mu.Unlock()
-	return res, nil
+	})
 }
 
 // Speedup returns serial cycles divided by the configuration's cycles.
@@ -227,4 +272,33 @@ func (s *Suite) sortedBenchmarks() []string {
 	}
 	sort.Slice(out, func(i, j int) bool { return pos[out[i]] < pos[out[j]] })
 	return out
+}
+
+// tableRows fans fn out over the suite's benchmarks — one goroutine per
+// benchmark, with the simulation load bounded by the suite's shared worker
+// pool — and assembles the rows in the paper's order regardless of
+// completion order. The first error in row order wins, so failures are
+// reported deterministically.
+func (s *Suite) tableRows(fn func(bench string) ([]float64, error)) ([]Row, error) {
+	benches := s.sortedBenchmarks()
+	rows := make([]Row, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			var vals []float64
+			if vals, errs[i] = fn(b); errs[i] == nil {
+				rows[i] = Row{Name: b, Values: vals}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }

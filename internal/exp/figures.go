@@ -7,6 +7,13 @@ import (
 	"voltron/internal/stats"
 )
 
+// Every figure harness fans out over the benchmarks (Suite.tableRows): rows
+// are computed concurrently, bounded by the suite's worker pool, and
+// assembled in the paper's order. The per-run singleflight cache means
+// several harnesses can run concurrently over one Suite without duplicating
+// a single simulation, and the tables are identical to sequential
+// generation.
+
 // Fig3 reproduces Figure 3: the fraction of dynamic execution best
 // accelerated by each parallelism class on a 4-core system. Following the
 // paper's methodology, each benchmark is compiled to exploit each form of
@@ -18,7 +25,7 @@ func (s *Suite) Fig3() (*Table, error) {
 		Title:   "Figure 3: breakdown of exploitable parallelism, 4-core system (fractions)",
 		Columns: []string{"ILP", "fine-grain TLP", "LLP", "single core"},
 	}
-	for _, b := range s.sortedBenchmarks() {
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
 		base, err := s.Run(b, compiler.Serial, 1)
 		if err != nil {
 			return nil, err
@@ -51,8 +58,12 @@ func (s *Suite) Fig3() (*Table, error) {
 		for i := range frac {
 			frac[i] /= total
 		}
-		t.Rows = append(t.Rows, Row{Name: b, Values: frac})
+		return frac, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -63,17 +74,21 @@ func (s *Suite) figSpeedups(cores int, title string) (*Table, error) {
 		Columns: []string{"ILP", "fine-grain TLP", "LLP"},
 	}
 	strategies := []compiler.Strategy{compiler.ForceILP, compiler.ForceFTLP, compiler.ForceLLP}
-	for _, b := range s.sortedBenchmarks() {
-		row := Row{Name: b}
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
+		var vals []float64
 		for _, strat := range strategies {
 			sp, err := s.Speedup(b, strat, cores)
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, sp)
+			vals = append(vals, sp)
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -99,7 +114,7 @@ func (s *Suite) Fig12() (*Table, error) {
 			"d I-stalls", "d D-stalls", "d recv", "d pred recv", "d sync",
 		},
 	}
-	for _, b := range s.sortedBenchmarks() {
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
 		base, err := s.Run(b, compiler.Serial, 1)
 		if err != nil {
 			return nil, err
@@ -113,7 +128,7 @@ func (s *Suite) Fig12() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Row{Name: b, Values: []float64{
+		return []float64{
 			cp.AvgStallFraction(stats.IStall, ref),
 			cp.AvgStallFraction(stats.DStall, ref),
 			cp.AvgStallFraction(stats.Lockstep, ref),
@@ -122,9 +137,12 @@ func (s *Suite) Fig12() (*Table, error) {
 			dc.AvgStallFraction(stats.RecvData, ref) + dc.AvgStallFraction(stats.SendStall, ref),
 			dc.AvgStallFraction(stats.RecvPred, ref),
 			dc.AvgStallFraction(stats.SyncCallRet, ref),
-		}}
-		t.Rows = append(t.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -134,7 +152,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		Title:   "Figure 13: speedup on 2-core and 4-core Voltron exploiting hybrid parallelism",
 		Columns: []string{"2 core", "4 core"},
 	}
-	for _, b := range s.sortedBenchmarks() {
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
 		s2, err := s.Speedup(b, compiler.Hybrid, 2)
 		if err != nil {
 			return nil, err
@@ -143,8 +161,12 @@ func (s *Suite) Fig13() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{Name: b, Values: []float64{s2, s4}})
+		return []float64{s2, s4}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -155,16 +177,20 @@ func (s *Suite) Fig14() (*Table, error) {
 		Title:   "Figure 14: breakdown of time spent in each execution mode (hybrid, 4 cores)",
 		Columns: []string{"coupled", "decoupled"},
 	}
-	for _, b := range s.sortedBenchmarks() {
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
 		r, err := s.Run(b, compiler.Hybrid, 4)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{Name: b, Values: []float64{
+		return []float64{
 			r.ModeFraction(stats.ModeCoupled),
 			r.ModeFraction(stats.ModeDecoupled),
-		}})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

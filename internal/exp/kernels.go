@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"sync"
+
 	"voltron/internal/compiler"
 	"voltron/internal/core"
 	"voltron/internal/ir"
@@ -119,7 +121,10 @@ type KernelResult struct {
 	Measured2Core float64
 }
 
-// Fig7to9 measures the three kernels on a 2-core system.
+// Fig7to9 measures the three kernels on a 2-core system. The kernels are
+// evaluated concurrently (each goroutine owns its kernel's program, so the
+// serial and parallel compiles of one kernel never race); results are
+// reported in figure order.
 func Fig7to9() ([]KernelResult, error) {
 	cases := []struct {
 		name  string
@@ -131,21 +136,35 @@ func Fig7to9() ([]KernelResult, error) {
 		{"Fig8 gzip strands", GzipStrandKernel(2048), compiler.ForceFTLP, 1.2},
 		{"Fig9 gsmdecode ILP", GsmILPKernel(512), compiler.ForceILP, 1.78},
 	}
-	var out []KernelResult
-	for _, c := range cases {
-		base, err := runProgram(c.p, compiler.Serial, 1)
+	out := make([]KernelResult, len(cases))
+	errs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base, err := runProgram(c.p, compiler.Serial, 1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			par, err := runProgram(c.p, c.strat, 2)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = KernelResult{
+				Name:          c.name,
+				PaperSpeedup:  c.paper,
+				Measured2Core: float64(base.TotalCycles) / float64(par.TotalCycles),
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		par, err := runProgram(c.p, c.strat, 2)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, KernelResult{
-			Name:          c.name,
-			PaperSpeedup:  c.paper,
-			Measured2Core: float64(base.TotalCycles) / float64(par.TotalCycles),
-		})
 	}
 	return out, nil
 }

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"voltron/internal/compiler"
+)
+
+// raceSuite narrows the benchmark list so the -race runs stay fast while
+// still covering all three parallelism classes.
+func raceSuite(workers int) *Suite {
+	s := NewSuite()
+	s.Benchmarks = []string{"gsmdecode", "179.art", "171.swim"}
+	s.Workers = workers
+	return s
+}
+
+// TestSuiteConcurrentFiguresMatchSequential runs two figure harnesses
+// concurrently over one shared Suite and checks both tables are identical
+// to those produced by a fully sequential (Workers=1) suite. Fig13 and
+// Fig14 share the hybrid runs, so the concurrent pass also exercises the
+// per-key singleflight under contention.
+func TestSuiteConcurrentFiguresMatchSequential(t *testing.T) {
+	seq := raceSuite(1)
+	want13, err := seq.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want14, err := seq.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := raceSuite(0)
+	var got13, got14 *Table
+	var err13, err14 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); got13, err13 = par.Fig13() }()
+	go func() { defer wg.Done(); got14, err14 = par.Fig14() }()
+	wg.Wait()
+	if err13 != nil || err14 != nil {
+		t.Fatal(err13, err14)
+	}
+	if !reflect.DeepEqual(want13, got13) {
+		t.Errorf("Fig13 differs between sequential and concurrent suites:\nseq: %+v\npar: %+v", want13, got13)
+	}
+	if !reflect.DeepEqual(want14, got14) {
+		t.Errorf("Fig14 differs between sequential and concurrent suites:\nseq: %+v\npar: %+v", want14, got14)
+	}
+}
+
+// TestSuiteSingleflightSharesRuns asserts concurrent Run calls with the
+// same key resolve to one simulation: every caller gets the same
+// *core.RunResult pointer.
+func TestSuiteSingleflightSharesRuns(t *testing.T) {
+	s := raceSuite(0)
+	const callers = 8
+	results := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := s.Run("gsmdecode", compiler.Hybrid, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d received a distinct RunResult: singleflight did not coalesce", i)
+		}
+	}
+}

@@ -13,16 +13,20 @@ func (s *Suite) Scaling() (*Table, error) {
 		Title:   "Extension: hybrid speedup scaling (coupled groups capped at 4 cores)",
 		Columns: []string{"2 core", "4 core", "8 core"},
 	}
-	for _, b := range s.sortedBenchmarks() {
-		row := Row{Name: b}
+	rows, err := s.tableRows(func(b string) ([]float64, error) {
+		var vals []float64
 		for _, n := range []int{2, 4, 8} {
 			sp, err := s.Speedup(b, compiler.Hybrid, n)
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, sp)
+			vals = append(vals, sp)
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

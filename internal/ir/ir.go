@@ -12,6 +12,7 @@ package ir
 
 import (
 	"fmt"
+	"sync"
 
 	"voltron/internal/isa"
 )
@@ -225,7 +226,18 @@ type Program struct {
 	nextBase int64
 	// Init holds initial word values keyed by byte address.
 	Init map[int64]uint64
+
+	// prepOnce serializes the compiler's one-shot in-place preparation
+	// (see PrepareOnce).
+	prepOnce sync.Once
 }
+
+// PrepareOnce runs f exactly once over the program's lifetime, blocking
+// concurrent callers until the first call returns. The compiler uses it to
+// guard its in-place cleanup passes so that concurrent compiles of a shared
+// program (the experiment suite hands one cached IR instance to every
+// strategy) never mutate the IR while another goroutine reads it.
+func (p *Program) PrepareOnce(f func()) { p.prepOnce.Do(f) }
 
 // NewProgram creates an empty program. The data segment starts at address
 // 4096 (address 0 is kept unmapped to catch null-pointer style bugs in
