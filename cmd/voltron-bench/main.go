@@ -9,6 +9,8 @@
 //	voltron-bench -bench cjpeg    # restrict to one benchmark
 //	voltron-bench -j 1            # force sequential evaluation
 //	voltron-bench -evalout BENCH_eval.json   # record wall-clock per figure
+//	voltron-bench -cpuprofile cpu.pprof      # profile the run (go tool pprof)
+//	voltron-bench -memprofile mem.pprof      # heap profile at exit
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"voltron/internal/exp"
@@ -35,7 +39,40 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
 	workers := flag.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
 	evalOut := flag.String("evalout", "", "write per-figure wall-clock timings to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	// Batch tool, short-lived, compile-heavy: trade peak heap for fewer GC
+	// cycles (as gofmt does). GOGC in the environment still takes priority.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	s := exp.NewSuite()
 	if *bench != "" {

@@ -108,6 +108,17 @@ func lineGroups(r *ir.Region) map[*ir.Op]*ir.Op {
 		}
 	}
 	const lineBytes = 64
+	// One derivation context per loop: building a context walks the whole
+	// region, and this pairwise scan issues O(stores²) queries.
+	ctxs := map[*ir.Loop]*ir.AffineCtx{}
+	ctxFor := func(l *ir.Loop) *ir.AffineCtx {
+		c, ok := ctxs[l]
+		if !ok {
+			c = r.NewAffineCtx(l)
+			ctxs[l] = c
+		}
+		return c
+	}
 	for i, a := range stores {
 		for _, b := range stores[i+1:] {
 			if a.Obj == ir.UnknownObj || a.Obj != b.Obj {
@@ -117,8 +128,9 @@ func lineGroups(r *ir.Region) map[*ir.Op]*ir.Op {
 			if loopOf(b.Blk) != l {
 				continue
 			}
-			ea := r.AddrExprOf(a, l, nil)
-			eb := r.AddrExprOf(b, l, nil)
+			ctx := ctxFor(l)
+			ea := r.AddrExprOf(a, l, ctx)
+			eb := r.AddrExprOf(b, l, ctx)
 			if !ea.Known || !eb.Known || ea.Stride != eb.Stride {
 				continue
 			}

@@ -60,8 +60,11 @@ func compileMeasured(p *ir.Program, opts Options) (*core.CompiledProgram, error)
 	// A failed baseline is a hard error: without serial region times no
 	// candidate could ever be compared against serial, and silently
 	// letting the first non-failing candidate win would ship a lowering
-	// that was never measured to help.
-	baseline, err := core.New(core.DefaultConfig(opts.Cores)).Run(cp)
+	// that was never measured to help. Selection only reads RegionCycles,
+	// so the stall-breakdown accounting is skipped (NoStats).
+	baseCfg := core.DefaultConfig(opts.Cores)
+	baseCfg.NoStats = true
+	baseline, err := core.New(baseCfg).Run(cp)
 	if err != nil {
 		return nil, fmt.Errorf("%s: serial baseline: %w", p.Name, err)
 	}
@@ -184,9 +187,12 @@ func newEvalPool(opts Options, cp *core.CompiledProgram) *evalPool {
 		n = 1
 	}
 	pool := &evalPool{jobs: make(chan evalJob)}
+	// Measurement machines are throwaways whose stats nobody reads.
+	evalCfg := core.DefaultConfig(cp.Cores)
+	evalCfg.NoStats = true
 	for w := 0; w < n; w++ {
 		ew := &evalWorker{
-			machine: core.New(core.DefaultConfig(cp.Cores)),
+			machine: core.New(evalCfg),
 			bg: &core.CompiledProgram{
 				Name: cp.Name, Cores: cp.Cores, Src: cp.Src,
 				Regions: append([]*core.CompiledRegion(nil), cp.Regions...),

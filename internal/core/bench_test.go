@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// The simulator's two hot loops, driven by the same hand-built programs
+// the reference tests use. Run with -benchmem: the point of the
+// event-driven rework is that neither loop allocates per simulated cycle.
+
+func benchProgram(b *testing.B, cp *CompiledProgram) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(DefaultConfig(cp.Cores)).Run(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoupledLoop exercises the lock-step VLIW loop: dual-issue
+// across cores, broadcast branches, memory stalls.
+func BenchmarkCoupledLoop(b *testing.B) {
+	benchProgram(b, coupledStallProgram())
+}
+
+// BenchmarkDecoupledQueueLoop exercises the decoupled loop: per-core
+// stepping, queue sends/receives, spawn/sleep wake handling.
+func BenchmarkDecoupledQueueLoop(b *testing.B) {
+	benchProgram(b, queuePipelineProgram())
+}
+
+// BenchmarkDOALLFallback exercises the transactional path end to end:
+// speculative iterations, conflict abort, serial fallback replay.
+func BenchmarkDOALLFallback(b *testing.B) {
+	cp, _ := doallProgram(true)
+	benchProgram(b, cp)
+}

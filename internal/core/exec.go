@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"voltron/internal/ir"
 	"voltron/internal/isa"
@@ -71,6 +72,75 @@ type CompiledRegion struct {
 	Fallback []isa.Inst
 	// FallbackLabels resolves logical blocks in the fallback stream.
 	FallbackLabels map[int64]int
+
+	// Dense branch-target tables derived from Labels/FallbackLabels the
+	// first time the region runs (branches resolve targets by indexing
+	// instead of a map lookup on the simulator's hot path). Guarded by a
+	// Once so concurrent Machines may share one region.
+	resolveOnce sync.Once
+	btabs       [][]int32
+	fbtab       []int32
+}
+
+// maxDenseLabel bounds the dense table size; a region with out-of-range
+// block ids keeps the map lookups (correct, just slower).
+const maxDenseLabel = 1 << 16
+
+// denseLabels flattens one label map into an id-indexed table (-1 = no such
+// block). It returns nil when the ids do not fit a dense table.
+func denseLabels(m map[int64]int) []int32 {
+	maxID := int64(-1)
+	for id := range m {
+		if id < 0 || id >= maxDenseLabel {
+			return nil
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	t := make([]int32, maxID+1)
+	for i := range t {
+		t[i] = -1
+	}
+	for id, idx := range m {
+		t[id] = int32(idx)
+	}
+	return t
+}
+
+// resolve builds the dense branch tables once per region.
+func (cr *CompiledRegion) resolve() {
+	cr.resolveOnce.Do(func() {
+		cr.btabs = make([][]int32, len(cr.Labels))
+		for c, m := range cr.Labels {
+			cr.btabs[c] = denseLabels(m)
+		}
+		cr.fbtab = denseLabels(cr.FallbackLabels)
+	})
+}
+
+// lookupLabel resolves a logical block id in core c's stream.
+func (cr *CompiledRegion) lookupLabel(c int, id int64) (int, bool) {
+	if t := cr.btabs[c]; t != nil {
+		if id < 0 || id >= int64(len(t)) || t[id] < 0 {
+			return 0, false
+		}
+		return int(t[id]), true
+	}
+	idx, ok := cr.Labels[c][id]
+	return idx, ok
+}
+
+// lookupFallbackLabel resolves a logical block id in the fallback stream.
+func (cr *CompiledRegion) lookupFallbackLabel(id int64) (int, bool) {
+	if t := cr.fbtab; t != nil {
+		if id < 0 || id >= int64(len(t)) || t[id] < 0 {
+			return 0, false
+		}
+		return int(t[id]), true
+	}
+	idx, ok := cr.FallbackLabels[id]
+	return idx, ok
 }
 
 // Validate checks structural consistency of the compiled region against a

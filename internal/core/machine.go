@@ -23,6 +23,9 @@ type Config struct {
 	ModeSwitchLat int64
 	// Watchdog aborts a run when no core makes progress for this many
 	// cycles (a deadlock means compiler-inserted communication is wrong).
+	// It is only consulted by the reference stepper: the event-driven core
+	// detects a deadlock exactly, as "no core issued and no wake event is
+	// scheduled", independent of this bound.
 	Watchdog int64
 	// QueueBaseLat/QueueHopLat override the queue-mode network latency
 	// when nonzero (used by the latency-sensitivity ablation).
@@ -34,6 +37,16 @@ type Config struct {
 	// Trace, when non-nil, receives one line per issued instruction and
 	// per region transition — the machine's debugging facility.
 	Trace io.Writer
+	// Reference selects the retained naive stepper: the simulator advances
+	// one cycle at a time instead of jumping to the next wake event. Cycle
+	// counts and stats are identical either way (the cycle-exactness tests
+	// assert it); the reference stepper exists as that test's oracle and
+	// as a debugging fallback.
+	Reference bool
+	// NoStats skips the per-cycle stall/occupancy accounting. Used for
+	// throwaway runs whose caller only reads cycle counts (measured
+	// strategy selection); RunResult cycle fields stay exact.
+	NoStats bool
 }
 
 // DefaultConfig returns the paper's machine parameters for n cores.
@@ -112,6 +125,14 @@ func (cs *coreState) set(r isa.Reg, v uint64, readyAt int64) {
 	cs.ready[classIdx(r.Class)][r.Index] = readyAt
 }
 
+func (cs *coreState) setPred(r isa.Reg, v bool, readyAt int64) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	cs.set(r, u, readyAt)
+}
+
 func (cs *coreState) readyAt(r isa.Reg) int64 {
 	cs.ensure(r)
 	return cs.ready[classIdx(r.Class)][r.Index]
@@ -130,6 +151,10 @@ func (cs *coreState) reset(id int, awake bool) {
 	cs.regs, cs.ready = regs, ready
 }
 
+// neverWakes marks a core with no scheduled wake event: only another core's
+// progress can unblock it.
+const neverWakes = int64(math.MaxInt64)
+
 // runState holds the machinery of one simulation.
 type runState struct {
 	m      *Machine
@@ -140,6 +165,12 @@ type runState struct {
 	run    *stats.Run
 	cores  []*coreState
 	now    int64
+	// statsOn gates the per-cycle stall accounting (cleared by
+	// Config.NoStats); trace gates the debugging sink so disabled tracing
+	// costs one branch; ref selects the naive per-cycle stepper.
+	statsOn bool
+	trace   bool
+	ref     bool
 	// current region context
 	cr       *CompiledRegion
 	regionID int
@@ -156,12 +187,15 @@ func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
 	}
 	flat := cp.NewMemory()
 	rs := &runState{
-		m:      m,
-		cp:     cp,
-		sys:    mem.NewSystem(m.cfg.Mem, flat),
-		direct: xnet.NewDirectNet(m.top),
-		queue:  xnet.NewQueueNet(m.top),
-		run:    stats.NewRun(m.cfg.Cores),
+		m:       m,
+		cp:      cp,
+		sys:     mem.NewSystem(m.cfg.Mem, flat),
+		direct:  xnet.NewDirectNet(m.top),
+		queue:   xnet.NewQueueNet(m.top),
+		run:     stats.NewRun(m.cfg.Cores),
+		statsOn: !m.cfg.NoStats,
+		trace:   m.cfg.Trace != nil,
+		ref:     m.cfg.Reference,
 	}
 	if m.cfg.QueueBaseLat > 0 {
 		rs.queue.BaseLat = m.cfg.QueueBaseLat
@@ -175,7 +209,9 @@ func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
 	res := &RunResult{Run: rs.run, Mem: flat}
 	prevMode := Mode(-1)
 	for i, cr := range cp.Regions {
-		rs.tracef("=== region %q mode=%v cycle=%d\n", cr.Name, cr.Mode, rs.now)
+		if rs.trace {
+			rs.tracef("=== region %q mode=%v cycle=%d\n", cr.Name, cr.Mode, rs.now)
+		}
 		start := rs.now
 		// Region barrier (+ mode switch when the mode changes).
 		overhead := m.cfg.RegionSyncLat
@@ -199,16 +235,31 @@ func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
 }
 
 func (rs *runState) chargeAll(k stats.Kind, n int64) {
+	if !rs.statsOn {
+		return
+	}
 	for i := range rs.run.Cores {
 		rs.run.Cores[i].Add(k, n)
 	}
 }
 
 func (rs *runState) charge(core int, k stats.Kind) {
-	rs.run.Cores[core].Add(k, 1)
+	if rs.statsOn {
+		rs.run.Cores[core].Add(k, 1)
+	}
 }
 
-// tracef writes to the configured trace sink, if any.
+// chargeN charges n cycles of kind k at once — the event-driven loops use
+// it to account a whole skipped stall window in one step.
+func (rs *runState) chargeN(core int, k stats.Kind, n int64) {
+	if rs.statsOn && n > 0 {
+		rs.run.Cores[core].Add(k, n)
+	}
+}
+
+// tracef writes to the configured trace sink, if any. Callers on the hot
+// path must guard with rs.trace so a disabled trace costs one branch and no
+// argument boxing.
 func (rs *runState) tracef(format string, args ...any) {
 	if rs.m.cfg.Trace != nil {
 		fmt.Fprintf(rs.m.cfg.Trace, format, args...)
@@ -216,7 +267,7 @@ func (rs *runState) tracef(format string, args ...any) {
 }
 
 // traceIssue logs one issued instruction.
-func (rs *runState) traceIssue(cs *coreState, in isa.Inst) {
+func (rs *runState) traceIssue(cs *coreState, in *isa.Inst) {
 	if rs.m.cfg.Trace != nil {
 		fmt.Fprintf(rs.m.cfg.Trace, "%8d c%d %4d  %v\n", rs.now, cs.id, cs.pc, in)
 	}
@@ -237,6 +288,7 @@ func (rs *runState) setPC(cs *coreState, idx int) {
 }
 
 func (rs *runState) runRegion(id int, cr *CompiledRegion) error {
+	cr.resolve()
 	rs.cr = cr
 	rs.regionID = id
 	rs.cores = rs.cores[:0]
@@ -258,43 +310,62 @@ func (rs *runState) runRegion(id int, cr *CompiledRegion) error {
 	return rs.runDecoupled()
 }
 
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // ---------- coupled (lock-step) execution ----------
 
 func (rs *runState) runCoupled() error {
 	cr := rs.cr
 	for {
 		// Lock-step issue: every core must be able to issue this cycle;
-		// otherwise the stall bus stalls them all.
-		blockedKind := make([]stats.Kind, len(rs.cores))
-		anyBlocked := false
+		// otherwise the stall bus stalls them all. Blocked cores release
+		// at fixed times (memory doneAt, fetch completion), so the next
+		// issue cycle is the latest per-core release. The event-driven
+		// core jumps the clock straight there; the reference stepper
+		// advances a single cycle. Either way the skipped window is
+		// charged exactly as the per-cycle loop would charge it: the
+		// stall kind while the core's own stall lasts, I-stall while its
+		// fetch lasts, lock-step stall once only peers keep it waiting.
+		wake := rs.now
 		for _, cs := range rs.cores {
-			blockedKind[cs.id] = stats.Busy
-			if rs.now < cs.stallUntil {
-				blockedKind[cs.id] = cs.stallKind
-				anyBlocked = true
-			} else if rs.now < cs.fetchUntil {
-				blockedKind[cs.id] = stats.IStall
-				anyBlocked = true
+			w := max(cs.stallUntil, cs.fetchUntil)
+			if w > wake {
+				wake = w
 			}
 		}
-		if anyBlocked {
-			for _, cs := range rs.cores {
-				if blockedKind[cs.id] != stats.Busy {
-					rs.charge(cs.id, blockedKind[cs.id])
-				} else {
-					rs.charge(cs.id, stats.Lockstep)
-				}
+		if wake > rs.now {
+			to := wake
+			if rs.ref {
+				to = rs.now + 1
 			}
-			rs.now++
-			if err := rs.watchdog(); err != nil {
-				return err
+			for _, cs := range rs.cores {
+				s := clamp(cs.stallUntil, rs.now, to)
+				f := clamp(cs.fetchUntil, s, to)
+				rs.chargeN(cs.id, cs.stallKind, s-rs.now)
+				rs.chargeN(cs.id, stats.IStall, f-s)
+				rs.chargeN(cs.id, stats.Lockstep, to-f)
+			}
+			rs.now = to
+			if rs.ref {
+				if err := rs.watchdog(); err != nil {
+					return err
+				}
 			}
 			continue
 		}
 		// All issue together. Phase A: drive the direct-mode wires.
 		rs.direct.BeginCycle(rs.now)
 		for _, cs := range rs.cores {
-			in := cr.Code[cs.id][cs.pc]
+			in := &cr.Code[cs.id][cs.pc]
 			switch in.Op {
 			case isa.PUT:
 				if err := rs.checkOperands(cs, in); err != nil {
@@ -315,16 +386,18 @@ func (rs *runState) runCoupled() error {
 		// Phase B: everything else.
 		halts, branches := 0, 0
 		for _, cs := range rs.cores {
-			in := cr.Code[cs.id][cs.pc]
+			in := &cr.Code[cs.id][cs.pc]
 			cs.issuedBranch, cs.halted = false, false
 			if in.Op == isa.PUT || in.Op == isa.BCAST {
 				rs.charge(cs.id, stats.Busy)
 				continue
 			}
-			if err := rs.execInst(cs, in, cr.Labels[cs.id], true); err != nil {
+			if err := rs.execInst(cs, in, true); err != nil {
 				return err
 			}
-			rs.traceIssue(cs, in)
+			if rs.trace {
+				rs.traceIssue(cs, in)
+			}
 			rs.charge(cs.id, stats.Busy)
 			if cs.issuedBranch {
 				branches++
@@ -352,12 +425,12 @@ func (rs *runState) runCoupled() error {
 		}
 		// Advance PCs.
 		for _, cs := range rs.cores {
-			in := cr.Code[cs.id][cs.pc]
+			in := &cr.Code[cs.id][cs.pc]
 			switch {
 			case cs.halted:
 				// region ends below
 			case cs.issuedBranch && cs.branchTaken:
-				idx, ok := cr.Labels[cs.id][int64(cs.get(in.Src1))]
+				idx, ok := cr.lookupLabel(cs.id, int64(cs.get(in.Src1)))
 				if !ok {
 					return fmt.Errorf("core %d: branch to unknown block %d", cs.id, cs.get(in.Src1))
 				}
@@ -370,8 +443,10 @@ func (rs *runState) runCoupled() error {
 		if halts > 0 {
 			return nil
 		}
-		if err := rs.watchdog(); err != nil {
-			return err
+		if rs.ref {
+			if err := rs.watchdog(); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -382,9 +457,17 @@ func (rs *runState) runDecoupled() error {
 	cr := rs.cr
 	for {
 		allQuiet := true
+		anyActed := false
+		wake := neverWakes
 		for _, cs := range rs.cores {
-			if err := rs.stepDecoupled(cs); err != nil {
+			acted, w, err := rs.stepDecoupled(cs)
+			if err != nil {
 				return err
+			}
+			if acted {
+				anyActed = true
+			} else if w < wake {
+				wake = w
 			}
 			if !cs.done && cs.awake {
 				allQuiet = false
@@ -408,6 +491,7 @@ func (rs *runState) runDecoupled() error {
 							return rs.runFallback()
 						}
 						cs.txwait, cs.txactive = false, false
+						anyActed = true
 					}
 				}
 			}
@@ -416,56 +500,83 @@ func (rs *runState) runDecoupled() error {
 		if allQuiet && !rs.queue.PendingAny() {
 			return nil
 		}
-		if err := rs.watchdog(); err != nil {
-			return err
+		if rs.ref {
+			if err := rs.watchdog(); err != nil {
+				return err
+			}
+			continue
+		}
+		if anyActed {
+			continue
+		}
+		// No core changed machine state this cycle, so nothing can happen
+		// before the earliest scheduled wake event (a stall release or a
+		// queue-message arrival): jump the clock there, charging every
+		// core exactly what the per-cycle loop would have charged. No wake
+		// event at all means the machine is frozen for good — the
+		// event-driven watchdog.
+		if wake == neverWakes {
+			return rs.deadlock()
+		}
+		if wake > rs.now {
+			for _, cs := range rs.cores {
+				rs.skipDecoupled(cs, rs.now, wake)
+			}
+			rs.now = wake
 		}
 	}
 }
 
-// stepDecoupled advances one core by one cycle in decoupled mode.
-func (rs *runState) stepDecoupled(cs *coreState) error {
+// stepDecoupled advances one core by one cycle in decoupled mode. It
+// reports whether the core changed machine state (issued, woke, received,
+// committed a PC move) and, when it did not, the earliest future cycle at
+// which it could — neverWakes when only another core's progress can
+// unblock it (full send queue, transaction barrier, done).
+func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err error) {
 	cr := rs.cr
 	switch {
 	case cs.done:
 		rs.charge(cs.id, stats.SyncCallRet)
-		return nil
+		return false, neverWakes, nil
 	case !cs.awake:
 		if addr, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
-			idx, lbl := cr.Labels[cs.id][int64(addr)]
+			idx, lbl := cr.lookupLabel(cs.id, int64(addr))
 			if !lbl {
-				return fmt.Errorf("core %d: spawned at unknown block %d", cs.id, addr)
+				return false, 0, fmt.Errorf("core %d: spawned at unknown block %d", cs.id, addr)
 			}
 			cs.awake = true
 			rs.setPC(cs, idx)
 			rs.run.Spawns++
 			rs.lastProg = rs.now
+			rs.charge(cs.id, stats.SyncCallRet)
+			return true, 0, nil
 		}
 		rs.charge(cs.id, stats.SyncCallRet)
-		return nil
+		return false, rs.queue.NextSpawnAt(cs.id), nil
 	case cs.txwait:
 		rs.charge(cs.id, stats.SyncCallRet)
-		return nil
+		return false, neverWakes, nil
 	case rs.now < cs.stallUntil:
 		rs.charge(cs.id, cs.stallKind)
-		return nil
+		return false, max(cs.stallUntil, cs.fetchUntil), nil
 	case rs.now < cs.fetchUntil:
 		rs.charge(cs.id, stats.IStall)
-		return nil
+		return false, cs.fetchUntil, nil
 	}
-	in := cr.Code[cs.id][cs.pc]
+	in := &cr.Code[cs.id][cs.pc]
 	// Queue-mode back-pressure: a SEND (or SPAWN/broadcast) to a full
 	// receive queue retries until the consumer drains it.
 	switch in.Op {
 	case isa.SEND, isa.SPAWN:
 		if !rs.queue.CanSend(cs.id, in.Core) {
 			rs.charge(cs.id, stats.SendStall)
-			return nil
+			return false, neverWakes, nil
 		}
 	case isa.BCAST:
 		for c := 0; c < rs.m.cfg.Cores; c++ {
 			if c != cs.id && !rs.queue.CanSend(cs.id, c) {
 				rs.charge(cs.id, stats.SendStall)
-				return nil
+				return false, neverWakes, nil
 			}
 		}
 	}
@@ -478,19 +589,21 @@ func (rs *runState) stepDecoupled(cs *coreState) error {
 			} else {
 				rs.charge(cs.id, stats.RecvData)
 			}
-			return nil
+			return false, rs.queue.NextRecvAt(cs.id, in.Core), nil
 		}
 		cs.set(in.Dst, v, rs.now+1)
 		rs.charge(cs.id, stats.Busy)
 		rs.setPC(cs, cs.pc+1)
 		rs.lastProg = rs.now
-		return nil
+		return true, 0, nil
 	}
 	cs.issuedBranch, cs.halted = false, false
-	if err := rs.execInst(cs, in, cr.Labels[cs.id], false); err != nil {
-		return err
+	if err := rs.execInst(cs, in, false); err != nil {
+		return false, 0, err
 	}
-	rs.traceIssue(cs, in)
+	if rs.trace {
+		rs.traceIssue(cs, in)
+	}
 	rs.charge(cs.id, stats.Busy)
 	rs.lastProg = rs.now
 	switch {
@@ -499,15 +612,47 @@ func (rs *runState) stepDecoupled(cs *coreState) error {
 	case in.Op == isa.SLEEP:
 		cs.awake = false
 	case cs.issuedBranch && cs.branchTaken:
-		idx, ok := cr.Labels[cs.id][int64(cs.get(in.Src1))]
+		idx, ok := cr.lookupLabel(cs.id, int64(cs.get(in.Src1)))
 		if !ok {
-			return fmt.Errorf("core %d: branch to unknown block %d", cs.id, cs.get(in.Src1))
+			return false, 0, fmt.Errorf("core %d: branch to unknown block %d", cs.id, cs.get(in.Src1))
 		}
 		rs.setPC(cs, idx)
 	default:
 		rs.setPC(cs, cs.pc+1)
 	}
-	return nil
+	return true, 0, nil
+}
+
+// skipDecoupled charges one core for the skipped cycles [from, to) exactly
+// as the per-cycle loop would have: the core's state cannot change inside
+// the window (no core acts before the earliest wake event), only its charge
+// kind can switch from the stall source to the fetch source.
+func (rs *runState) skipDecoupled(cs *coreState, from, to int64) {
+	n := to - from
+	if cs.done || !cs.awake || cs.txwait {
+		rs.chargeN(cs.id, stats.SyncCallRet, n)
+		return
+	}
+	if from < cs.stallUntil || from < cs.fetchUntil {
+		s := clamp(cs.stallUntil, from, to)
+		rs.chargeN(cs.id, cs.stallKind, s-from)
+		rs.chargeN(cs.id, stats.IStall, clamp(cs.fetchUntil, s, to)-s)
+		return
+	}
+	in := &rs.cr.Code[cs.id][cs.pc]
+	switch in.Op {
+	case isa.SEND, isa.SPAWN, isa.BCAST:
+		rs.chargeN(cs.id, stats.SendStall, n)
+	case isa.RECV:
+		if in.Dst.Class == isa.RegPR {
+			rs.chargeN(cs.id, stats.RecvPred, n)
+		} else {
+			rs.chargeN(cs.id, stats.RecvData, n)
+		}
+		// The per-cycle loop would have polled the receive queue once per
+		// skipped cycle; keep the poll counter identical.
+		rs.queue.RecvWaits += n
+	}
 }
 
 // runFallback handles a DOALL dependence violation: abort every transaction,
@@ -525,39 +670,56 @@ func (rs *runState) runFallback() error {
 	defer func() { rs.regionID = saveRegion }()
 	rs.setPC(cs, 0)
 	for {
+		if rs.now < cs.stallUntil || rs.now < cs.fetchUntil {
+			// Stalled: jump to the release point (one cycle at a time for
+			// the reference stepper), charging the idled cores' rollback
+			// cycles and core 0's stall breakdown for the whole window.
+			to := max(cs.stallUntil, cs.fetchUntil)
+			if rs.ref {
+				to = rs.now + 1
+			}
+			for i := 1; i < len(rs.cores); i++ {
+				rs.chargeN(i, stats.TMRollback, to-rs.now)
+			}
+			s := clamp(cs.stallUntil, rs.now, to)
+			rs.chargeN(0, cs.stallKind, s-rs.now)
+			rs.chargeN(0, stats.IStall, to-s)
+			rs.now = to
+			if rs.ref {
+				if err := rs.watchdog(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		for i := 1; i < len(rs.cores); i++ {
 			rs.charge(i, stats.TMRollback)
 		}
+		in := &cr.Fallback[cs.pc]
+		cs.issuedBranch, cs.halted = false, false
+		if err := rs.execInst(cs, in, false); err != nil {
+			return err
+		}
+		rs.charge(0, stats.Busy)
+		rs.lastProg = rs.now
 		switch {
-		case rs.now < cs.stallUntil:
-			rs.charge(0, cs.stallKind)
-		case rs.now < cs.fetchUntil:
-			rs.charge(0, stats.IStall)
+		case cs.halted:
+			rs.now++
+			return nil
+		case cs.issuedBranch && cs.branchTaken:
+			idx, ok := cr.lookupFallbackLabel(int64(cs.get(in.Src1)))
+			if !ok {
+				return fmt.Errorf("fallback: branch to unknown block %d", cs.get(in.Src1))
+			}
+			rs.setPC(cs, idx)
 		default:
-			in := cr.Fallback[cs.pc]
-			cs.issuedBranch, cs.halted = false, false
-			if err := rs.execInst(cs, in, cr.FallbackLabels, false); err != nil {
-				return err
-			}
-			rs.charge(0, stats.Busy)
-			rs.lastProg = rs.now
-			switch {
-			case cs.halted:
-				rs.now++
-				return nil
-			case cs.issuedBranch && cs.branchTaken:
-				idx, ok := cr.FallbackLabels[int64(cs.get(in.Src1))]
-				if !ok {
-					return fmt.Errorf("fallback: branch to unknown block %d", cs.get(in.Src1))
-				}
-				rs.setPC(cs, idx)
-			default:
-				rs.setPC(cs, cs.pc+1)
-			}
+			rs.setPC(cs, cs.pc+1)
 		}
 		rs.now++
-		if err := rs.watchdog(); err != nil {
-			return err
+		if rs.ref {
+			if err := rs.watchdog(); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -566,113 +728,131 @@ func (rs *runState) runFallback() error {
 
 // checkOperands enforces the static-schedule contract: every source
 // register must be ready when an instruction issues. A violation is a
-// compiler bug, reported as a simulation error.
-func (rs *runState) checkOperands(cs *coreState, in isa.Inst) error {
-	for _, r := range in.Reads() {
-		if rdy := cs.readyAt(r); rdy > rs.now {
-			return fmt.Errorf("cycle %d core %d: %v reads %v ready at %d (schedule violation)",
-				rs.now, cs.id, in, r, rdy)
+// compiler bug, reported as a simulation error. The checks are unrolled
+// over Src1/Src2 so the hot path never materializes an operand slice.
+func (rs *runState) checkOperands(cs *coreState, in *isa.Inst) error {
+	if in.Src1.Valid() {
+		if rdy := cs.readyAt(in.Src1); rdy > rs.now {
+			return rs.scheduleViolation(cs, in, in.Src1, rdy)
+		}
+	}
+	if in.Src2.Valid() {
+		if rdy := cs.readyAt(in.Src2); rdy > rs.now {
+			return rs.scheduleViolation(cs, in, in.Src2, rdy)
 		}
 	}
 	return nil
 }
 
+func (rs *runState) scheduleViolation(cs *coreState, in *isa.Inst, r isa.Reg, rdy int64) error {
+	return fmt.Errorf("cycle %d core %d: %v reads %v ready at %d (schedule violation)",
+		rs.now, cs.id, in, r, rdy)
+}
+
 // execInst executes one instruction's semantics at the current cycle.
 // Coupled-only operations (GET) and decoupled-only ones (SEND/RECV/SPAWN)
-// are enforced by mode.
-func (rs *runState) execInst(cs *coreState, in isa.Inst, labels map[int64]int, coupled bool) error {
+// are enforced by mode. The body is written without closures or slice
+// construction: it runs once per issued instruction and must not allocate.
+func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 	if err := rs.checkOperands(cs, in); err != nil {
 		return err
-	}
-	argI := func(r isa.Reg) int64 { return int64(cs.get(r)) }
-	argF := func(r isa.Reg) float64 { return math.Float64frombits(cs.get(r)) }
-	rhs := func() int64 {
-		if in.Src2.Valid() {
-			return argI(in.Src2)
-		}
-		return in.Imm
-	}
-	setI := func(v int64) { cs.set(in.Dst, uint64(v), rs.now+int64(in.Op.Latency())) }
-	setF := func(v float64) { cs.set(in.Dst, math.Float64bits(v), rs.now+int64(in.Op.Latency())) }
-	setP := func(v bool) {
-		var u uint64
-		if v {
-			u = 1
-		}
-		cs.set(in.Dst, u, rs.now+1)
 	}
 	switch in.Op {
 	case isa.NOP, isa.MODESWITCH:
 	case isa.MOVI:
-		setI(in.Imm)
+		cs.set(in.Dst, uint64(in.Imm), rs.now+int64(in.Op.Latency()))
 	case isa.MOV:
-		setI(argI(in.Src1))
+		cs.set(in.Dst, cs.get(in.Src1), rs.now+int64(in.Op.Latency()))
 	case isa.FMOVI:
-		setF(in.F)
+		cs.set(in.Dst, math.Float64bits(in.F), rs.now+int64(in.Op.Latency()))
 	case isa.FMOV:
-		setF(argF(in.Src1))
-	case isa.ADD:
-		setI(argI(in.Src1) + rhs())
-	case isa.SUB:
-		setI(argI(in.Src1) - rhs())
-	case isa.MUL:
-		setI(argI(in.Src1) * rhs())
-	case isa.DIV:
-		if d := rhs(); d != 0 {
-			setI(argI(in.Src1) / d)
-		} else {
-			setI(0)
+		cs.set(in.Dst, cs.get(in.Src1), rs.now+int64(in.Op.Latency()))
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+		a := int64(cs.get(in.Src1))
+		b := in.Imm
+		if in.Src2.Valid() {
+			b = int64(cs.get(in.Src2))
 		}
-	case isa.REM:
-		if d := rhs(); d != 0 {
-			setI(argI(in.Src1) % d)
-		} else {
-			setI(0)
+		var v int64
+		switch in.Op {
+		case isa.ADD:
+			v = a + b
+		case isa.SUB:
+			v = a - b
+		case isa.MUL:
+			v = a * b
+		case isa.DIV:
+			if b != 0 {
+				v = a / b
+			}
+		case isa.REM:
+			if b != 0 {
+				v = a % b
+			}
+		case isa.AND:
+			v = a & b
+		case isa.OR:
+			v = a | b
+		case isa.XOR:
+			v = a ^ b
+		case isa.SHL:
+			v = a << (uint64(b) & 63)
+		case isa.SHR:
+			v = a >> (uint64(b) & 63)
 		}
-	case isa.AND:
-		setI(argI(in.Src1) & rhs())
-	case isa.OR:
-		setI(argI(in.Src1) | rhs())
-	case isa.XOR:
-		setI(argI(in.Src1) ^ rhs())
-	case isa.SHL:
-		setI(argI(in.Src1) << (uint64(rhs()) & 63))
-	case isa.SHR:
-		setI(argI(in.Src1) >> (uint64(rhs()) & 63))
-	case isa.FADD:
-		setF(argF(in.Src1) + argF(in.Src2))
-	case isa.FSUB:
-		setF(argF(in.Src1) - argF(in.Src2))
-	case isa.FMUL:
-		setF(argF(in.Src1) * argF(in.Src2))
-	case isa.FDIV:
-		setF(argF(in.Src1) / argF(in.Src2))
+		cs.set(in.Dst, uint64(v), rs.now+int64(in.Op.Latency()))
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		a := math.Float64frombits(cs.get(in.Src1))
+		b := math.Float64frombits(cs.get(in.Src2))
+		var v float64
+		switch in.Op {
+		case isa.FADD:
+			v = a + b
+		case isa.FSUB:
+			v = a - b
+		case isa.FMUL:
+			v = a * b
+		case isa.FDIV:
+			v = a / b
+		}
+		cs.set(in.Dst, math.Float64bits(v), rs.now+int64(in.Op.Latency()))
 	case isa.ITOF:
-		setF(float64(argI(in.Src1)))
+		cs.set(in.Dst, math.Float64bits(float64(int64(cs.get(in.Src1)))), rs.now+int64(in.Op.Latency()))
 	case isa.FTOI:
-		setI(int64(argF(in.Src1)))
-	case isa.CMPEQ:
-		setP(argI(in.Src1) == rhs())
-	case isa.CMPNE:
-		setP(argI(in.Src1) != rhs())
-	case isa.CMPLT:
-		setP(argI(in.Src1) < rhs())
-	case isa.CMPLE:
-		setP(argI(in.Src1) <= rhs())
-	case isa.CMPGT:
-		setP(argI(in.Src1) > rhs())
-	case isa.CMPGE:
-		setP(argI(in.Src1) >= rhs())
+		cs.set(in.Dst, uint64(int64(math.Float64frombits(cs.get(in.Src1)))), rs.now+int64(in.Op.Latency()))
+	case isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE:
+		a := int64(cs.get(in.Src1))
+		b := in.Imm
+		if in.Src2.Valid() {
+			b = int64(cs.get(in.Src2))
+		}
+		var v bool
+		switch in.Op {
+		case isa.CMPEQ:
+			v = a == b
+		case isa.CMPNE:
+			v = a != b
+		case isa.CMPLT:
+			v = a < b
+		case isa.CMPLE:
+			v = a <= b
+		case isa.CMPGT:
+			v = a > b
+		case isa.CMPGE:
+			v = a >= b
+		}
+		cs.setPred(in.Dst, v, rs.now+1)
 	case isa.FCMPLT:
-		setP(argF(in.Src1) < argF(in.Src2))
+		cs.setPred(in.Dst, math.Float64frombits(cs.get(in.Src1)) < math.Float64frombits(cs.get(in.Src2)), rs.now+1)
 	case isa.PAND:
-		setP(cs.get(in.Src1) != 0 && cs.get(in.Src2) != 0)
+		cs.setPred(in.Dst, cs.get(in.Src1) != 0 && cs.get(in.Src2) != 0, rs.now+1)
 	case isa.POR:
-		setP(cs.get(in.Src1) != 0 || cs.get(in.Src2) != 0)
+		cs.setPred(in.Dst, cs.get(in.Src1) != 0 || cs.get(in.Src2) != 0, rs.now+1)
 	case isa.PNOT:
-		setP(cs.get(in.Src1) == 0)
+		cs.setPred(in.Dst, cs.get(in.Src1) == 0, rs.now+1)
 	case isa.LOAD, isa.FLOAD:
-		addr := argI(in.Src1) + in.Imm
+		addr := int64(cs.get(in.Src1)) + in.Imm
 		v, done := rs.sys.Read(cs.id, addr, rs.now)
 		cs.set(in.Dst, v, done)
 		// Blocking cache: the miss portion stalls the core; the hit
@@ -686,7 +866,7 @@ func (rs *runState) execInst(cs *coreState, in isa.Inst, labels map[int64]int, c
 		// Stores retire through a store buffer: the write updates cache
 		// state and occupies the bus, but the core does not stall on the
 		// miss/upgrade latency.
-		addr := argI(in.Src1) + in.Imm
+		addr := int64(cs.get(in.Src1)) + in.Imm
 		rs.sys.Write(cs.id, addr, rs.now, cs.get(in.Src2))
 	case isa.PBR:
 		cs.set(in.Dst, uint64(in.Imm), rs.now+1)
@@ -753,14 +933,30 @@ func (rs *runState) execInst(cs *coreState, in isa.Inst, labels map[int64]int, c
 	return nil
 }
 
+// watchdog is the reference stepper's progress bound: abort when no core
+// made progress for Config.Watchdog consecutive cycles.
 func (rs *runState) watchdog() error {
 	if rs.now-rs.lastProg > rs.m.cfg.Watchdog {
-		var dump string
-		for _, cs := range rs.cores {
-			dump += fmt.Sprintf(" core%d{pc=%d awake=%v done=%v txwait=%v}",
-				cs.id, cs.pc, cs.awake, cs.done, cs.txwait)
-		}
-		return fmt.Errorf("deadlock: no progress since cycle %d (now %d):%s", rs.lastProg, rs.now, dump)
+		return fmt.Errorf("deadlock: no progress since cycle %d (now %d):%s", rs.lastProg, rs.now, rs.coreDump())
 	}
 	return nil
+}
+
+// deadlock is the event-driven watchdog: the decoupled loop proved that no
+// core issued this cycle and no wake event is scheduled, so the machine
+// state can never change again. Unlike the cycle-counting watchdog this
+// trips exactly at the freeze point and can neither be masked nor falsely
+// triggered by cycle skipping.
+func (rs *runState) deadlock() error {
+	return fmt.Errorf("deadlock: no core can issue and no wake event is scheduled (frozen at cycle %d, last progress %d):%s",
+		rs.now, rs.lastProg, rs.coreDump())
+}
+
+func (rs *runState) coreDump() string {
+	var dump string
+	for _, cs := range rs.cores {
+		dump += fmt.Sprintf(" core%d{pc=%d awake=%v done=%v txwait=%v}",
+			cs.id, cs.pc, cs.awake, cs.done, cs.txwait)
+	}
+	return dump
 }

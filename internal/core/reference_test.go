@@ -1,0 +1,137 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"voltron/internal/isa"
+)
+
+// runBoth simulates cp on the event-driven machine and on the retained
+// naive reference stepper (Config.Reference) and asserts that every
+// reported number — per-region cycles, the full stall breakdown, memory
+// statistics and the final memory image — is identical. Cycle skipping is
+// an implementation detail; it must never be observable in results.
+func runBoth(t *testing.T, cores int, cp *CompiledProgram) {
+	t.Helper()
+	ev := mustRun(t, DefaultConfig(cores), cp)
+	refCfg := DefaultConfig(cores)
+	refCfg.Reference = true
+	rf := mustRun(t, refCfg, cp)
+	if !reflect.DeepEqual(ev.RegionCycles, rf.RegionCycles) {
+		t.Errorf("RegionCycles: event %v, reference %v", ev.RegionCycles, rf.RegionCycles)
+	}
+	if !reflect.DeepEqual(ev.Run, rf.Run) {
+		t.Errorf("stats diverge:\nevent     %+v\nreference %+v", ev.Run, rf.Run)
+	}
+	if !reflect.DeepEqual(ev.MemStats, rf.MemStats) {
+		t.Errorf("memory stats diverge:\nevent     %+v\nreference %+v", ev.MemStats, rf.MemStats)
+	}
+	if !ev.Mem.Equal(rf.Mem) {
+		addr, a, b, _ := ev.Mem.FirstDiff(rf.Mem)
+		t.Errorf("memory images diverge at %#x: event %d, reference %d", addr, a, b)
+	}
+}
+
+// coupledStallProgram builds a 2-core coupled region with strided stores
+// and loads over enough lines to mix L1 hits, misses and lock-step stalls.
+func coupledStallProgram() *CompiledProgram {
+	p, out := srcProg(256)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: out.Base})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(2), Imm: 0})
+	c0.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	c0.nop()
+	c0.label(1)
+	c0.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(1), Src2: isa.GPR(2)})
+	c0.emit(isa.Inst{Op: isa.LOAD, Dst: isa.GPR(3), Src1: isa.GPR(1)})
+	c0.nop()
+	c0.nop()
+	c0.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Imm: 64})
+	c0.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(2), Src1: isa.GPR(2), Imm: 1})
+	c0.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(2), Imm: 20})
+	c0.emit(isa.Inst{Op: isa.BCAST, Src1: isa.PR(1)})
+	c0.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.nop().nop()
+	c1.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	c1.nop()
+	c1.label(1)
+	c1.nop().nop().nop().nop().nop().nop().nop()
+	c1.emit(isa.Inst{Op: isa.GETOP, Dst: isa.PR(1), Dir: isa.West})
+	c1.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c1.emit(isa.Inst{Op: isa.HALT})
+	return &CompiledProgram{
+		Name: "coupled-stalls", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Coupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, true},
+		}},
+	}
+}
+
+func TestReferenceCoupledMemoryStalls(t *testing.T) {
+	runBoth(t, 2, coupledStallProgram())
+}
+
+// queuePipelineProgram builds a 2-core decoupled producer/consumer over the
+// queue network with SPAWN, SLEEP, memory traffic and receive stalls on
+// both data and predicate registers.
+func queuePipelineProgram() *CompiledProgram {
+	p, out := srcProg(256)
+	c0 := newAsm()
+	c0.emit(isa.Inst{Op: isa.SPAWN, Core: 1, Imm: 10})
+	c0.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 0})
+	c0.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	c0.label(1)
+	c0.emit(isa.Inst{Op: isa.MUL, Dst: isa.GPR(2), Src1: isa.GPR(1), Imm: 3})
+	c0.nop().nop()
+	c0.emit(isa.Inst{Op: isa.SEND, Src1: isa.GPR(2), Core: 1})
+	c0.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Imm: 1})
+	c0.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(1), Imm: 30})
+	c0.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c0.emit(isa.Inst{Op: isa.HALT})
+	c1 := newAsm()
+	c1.label(10)
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(9), Imm: out.Base})
+	c1.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 0})
+	c1.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 11})
+	c1.label(11)
+	c1.emit(isa.Inst{Op: isa.RECV, Dst: isa.GPR(2), Core: 0})
+	c1.nop()
+	c1.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(9), Src2: isa.GPR(2)})
+	c1.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(9), Src1: isa.GPR(9), Imm: 64})
+	c1.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Imm: 1})
+	c1.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(1), Imm: 30})
+	c1.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	c1.emit(isa.Inst{Op: isa.SLEEP})
+	return &CompiledProgram{
+		Name: "queue-pipeline", Cores: 2, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: Decoupled,
+			Code:   [][]isa.Inst{c0.code, c1.code},
+			Labels: []map[int64]int{c0.labels, c1.labels},
+			Entry:  []int{0, 0}, StartAwake: []bool{true, false},
+		}},
+	}
+}
+
+func TestReferenceDecoupledQueuePipeline(t *testing.T) {
+	runBoth(t, 2, queuePipelineProgram())
+}
+
+func TestReferenceDOALLCommit(t *testing.T) {
+	cp, _ := doallProgram(false)
+	runBoth(t, 2, cp)
+}
+
+func TestReferenceDOALLFallback(t *testing.T) {
+	// The conflicting variant aborts the transactions and re-executes the
+	// serial fallback stream — the third execution loop that must skip
+	// cycles identically.
+	cp, _ := doallProgram(true)
+	runBoth(t, 2, cp)
+}

@@ -23,16 +23,23 @@ type AddrExpr struct {
 	IVBased bool
 }
 
-// affineCtx caches single-def lookups during derivation.
-type affineCtx struct {
+// AffineCtx caches single-def lookups during derivation. Building one walks
+// every op in the region, so callers issuing many AddrExprOf/MemDep queries
+// against the same (region, loop) should build the context once with
+// NewAffineCtx and pass it in rather than passing nil per query.
+type AffineCtx struct {
 	r    *Region
 	l    *Loop // may be nil for straight-line analysis
 	iv   Value
 	defs map[Value][]*Op
 }
 
-func (r *Region) newAffineCtx(l *Loop) *affineCtx {
-	c := &affineCtx{r: r, l: l, defs: map[Value][]*Op{}}
+// NewAffineCtx builds a reusable derivation context for a loop (which may be
+// nil for straight-line analysis).
+func (r *Region) NewAffineCtx(l *Loop) *AffineCtx { return r.newAffineCtx(l) }
+
+func (r *Region) newAffineCtx(l *Loop) *AffineCtx {
+	c := &AffineCtx{r: r, l: l, defs: map[Value][]*Op{}}
 	if l != nil && l.Induction != nil {
 		c.iv = l.Induction.Val
 	}
@@ -53,7 +60,7 @@ type term struct {
 	ivb  bool
 }
 
-func (c *affineCtx) eval(v Value, depth int) term {
+func (c *AffineCtx) eval(v Value, depth int) term {
 	if depth > 16 {
 		return term{}
 	}
@@ -133,7 +140,7 @@ func (c *affineCtx) eval(v Value, depth int) term {
 // AddrExprOf derives the affine address expression of a memory op relative
 // to loop l (may be nil: then only loop-invariant constant addresses
 // resolve). The result's Offset is absolute when Arr is nil.
-func (r *Region) AddrExprOf(o *Op, l *Loop, ctx *affineCtx) AddrExpr {
+func (r *Region) AddrExprOf(o *Op, l *Loop, ctx *AffineCtx) AddrExpr {
 	if !o.Code.IsMemory() {
 		return AddrExpr{}
 	}
@@ -178,7 +185,7 @@ const (
 // MemDep classifies the dependence between memory ops a and b with respect
 // to loop l (nil = straight-line: only intra matters). At least one of the
 // two must be a store for a dependence to exist.
-func (r *Region) MemDep(a, b *Op, l *Loop, ctx *affineCtx) MemDepKind {
+func (r *Region) MemDep(a, b *Op, l *Loop, ctx *AffineCtx) MemDepKind {
 	if !a.Code.IsStore() && !b.Code.IsStore() {
 		return MemNoDep
 	}

@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+// BenchmarkSystemReadWrite drives the coherent memory system with a mix of
+// core-local streaming writes and cross-core reads — the access pattern the
+// simulator's hot loop generates (tag lookup, MOESI transitions, snoops).
+func BenchmarkSystemReadWrite(b *testing.B) {
+	const cores = 4
+	flat := NewFlat(1 << 16)
+	s := NewSystem(DefaultConfig(cores), flat)
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := int64(i%4096) * 8
+		c := i % cores
+		now = s.Write(c, addr, now, uint64(i))
+		_, now = s.Read((c+1)%cores, addr, now)
+	}
+}
+
+// BenchmarkCacheFind isolates the tag-store lookup that sits on the
+// critical path of every simulated access.
+func BenchmarkCacheFind(b *testing.B) {
+	c := newCache(CacheCfg{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, HitLat: 1})
+	for a := int64(0); a < 32<<10; a += 64 {
+		c.fill(a, shared)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := c.find(int64(i%512) * 64); idx >= 0 {
+			c.touchIdx(idx)
+		}
+	}
+}
+
+// BenchmarkTMTransaction measures one begin/access/commit transaction
+// round trip, the unit of work of every speculative DOALL iteration.
+func BenchmarkTMTransaction(b *testing.B) {
+	const cores = 2
+	flat := NewFlat(1 << 12)
+	tm := NewTM(cores)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i % cores
+		tm.Begin(c, c)
+		addr := int64(c*2048 + (i%16)*8)
+		tm.OnRead(c, addr)
+		tm.OnWrite(c, addr, flat.LoadW(addr))
+		flat.StoreW(addr, uint64(i))
+		tm.Commit(c)
+	}
+}

@@ -49,12 +49,20 @@ type CacheCfg struct {
 	HitLat    int64
 }
 
-// cache is the tag store.
+// cache is the tag store: one flat set-major array (numSets × assoc lines)
+// so a set scan is a contiguous walk and a hit yields a flat line index the
+// caller can reuse for state reads, state writes and LRU touches without
+// re-scanning the set.
 type cache struct {
 	cfg     CacheCfg
-	sets    [][]line
+	lines   []line
 	numSets int64
 	tick    int64
+	// Shift/mask fast path for the usual power-of-two geometry (index is
+	// on the critical path of every simulated memory access).
+	pow2      bool
+	lineShift uint
+	setShift  uint
 }
 
 func newCache(cfg CacheCfg) *cache {
@@ -62,59 +70,54 @@ func newCache(cfg CacheCfg) *cache {
 	if numSets < 1 {
 		numSets = 1
 	}
-	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
+	c := &cache{cfg: cfg, lines: make([]line, numSets*int64(cfg.Assoc)), numSets: numSets}
+	if cfg.LineBytes&(cfg.LineBytes-1) == 0 && numSets&(numSets-1) == 0 {
+		c.pow2 = true
+		for v := cfg.LineBytes; v > 1; v >>= 1 {
+			c.lineShift++
+		}
+		for v := numSets; v > 1; v >>= 1 {
+			c.setShift++
+		}
 	}
-	return &cache{cfg: cfg, sets: sets, numSets: numSets}
+	return c
 }
 
 func (c *cache) index(addr int64) (set int64, tag int64) {
+	if c.pow2 {
+		lineAddr := addr >> c.lineShift
+		return lineAddr & (c.numSets - 1), lineAddr >> c.setShift
+	}
 	lineAddr := addr / c.cfg.LineBytes
 	return lineAddr % c.numSets, lineAddr / c.numSets
 }
 
-// lookup returns the way holding addr, or -1.
-func (c *cache) lookup(addr int64) int {
+// find returns the flat index of the line holding addr, or -1.
+func (c *cache) find(addr int64) int {
 	set, tag := c.index(addr)
-	for w := range c.sets[set] {
-		l := &c.sets[set][w]
+	base := int(set) * c.cfg.Assoc
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		l := &c.lines[i]
 		if l.state != invalid && l.tag == tag {
-			return w
+			return i
 		}
 	}
 	return -1
 }
 
-// touch refreshes LRU for a resident line.
-func (c *cache) touch(addr int64, way int) {
-	set, _ := c.index(addr)
+// touchIdx refreshes LRU for a resident line found by find.
+func (c *cache) touchIdx(i int) {
 	c.tick++
-	c.sets[set][way].lru = c.tick
+	c.lines[i].lru = c.tick
 }
 
 // stateOf returns the MOESI state of the line holding addr.
 func (c *cache) stateOf(addr int64) lineState {
-	w := c.lookup(addr)
-	if w < 0 {
+	i := c.find(addr)
+	if i < 0 {
 		return invalid
 	}
-	set, _ := c.index(addr)
-	return c.sets[set][w].state
-}
-
-// setState changes the state of a resident line (no-op when absent).
-func (c *cache) setState(addr int64, s lineState) {
-	w := c.lookup(addr)
-	if w < 0 {
-		return
-	}
-	set, _ := c.index(addr)
-	if s == invalid {
-		c.sets[set][w].state = invalid
-		return
-	}
-	c.sets[set][w].state = s
+	return c.lines[i].state
 }
 
 // fill inserts addr with the given state, evicting LRU; it returns the
@@ -122,39 +125,38 @@ func (c *cache) setState(addr int64, s lineState) {
 // writeback-relevant eviction happened).
 func (c *cache) fill(addr int64, s lineState) (victimState lineState, victimAddr int64) {
 	set, tag := c.index(addr)
+	base := int(set) * c.cfg.Assoc
 	// Prefer an invalid way.
-	victim := 0
-	for w := range c.sets[set] {
-		if c.sets[set][w].state == invalid {
-			victim = w
+	victim := base
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.lines[i].state == invalid {
+			victim = i
 			goto place
 		}
 	}
-	for w := range c.sets[set] {
-		if c.sets[set][w].lru < c.sets[set][victim].lru {
-			victim = w
+	for i := base; i < base+c.cfg.Assoc; i++ {
+		if c.lines[i].lru < c.lines[victim].lru {
+			victim = i
 		}
 	}
 place:
-	v := c.sets[set][victim]
+	v := c.lines[victim]
 	victimState = v.state
 	victimAddr = (v.tag*c.numSets + set) * c.cfg.LineBytes
 	c.tick++
-	c.sets[set][victim] = line{tag: tag, state: s, lru: c.tick}
+	c.lines[victim] = line{tag: tag, state: s, lru: c.tick}
 	return victimState, victimAddr
 }
 
 // flushAll invalidates every line, returning how many were dirty (M or O).
 func (c *cache) flushAll() int {
 	dirty := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			st := c.sets[s][w].state
-			if st == modified || st == owned {
-				dirty++
-			}
-			c.sets[s][w].state = invalid
+	for i := range c.lines {
+		st := c.lines[i].state
+		if st == modified || st == owned {
+			dirty++
 		}
+		c.lines[i].state = invalid
 	}
 	return dirty
 }

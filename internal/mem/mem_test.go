@@ -30,15 +30,15 @@ func TestCacheLRU(t *testing.T) {
 	}
 	c.fill(0, shared)
 	c.fill(16, shared)
-	if c.lookup(0) < 0 || c.lookup(16) < 0 {
+	if c.find(0) < 0 || c.find(16) < 0 {
 		t.Fatal("fills not resident")
 	}
-	c.touch(0, c.lookup(0)) // 16 is now LRU
+	c.touchIdx(c.find(0)) // 16 is now LRU
 	c.fill(32, shared)
-	if c.lookup(16) >= 0 {
+	if c.find(16) >= 0 {
 		t.Error("LRU victim should have been 16")
 	}
-	if c.lookup(0) < 0 || c.lookup(32) < 0 {
+	if c.find(0) < 0 || c.find(32) < 0 {
 		t.Error("0 and 32 should be resident")
 	}
 }

@@ -12,8 +12,8 @@ func NewMissSim(cfg CacheCfg) *MissSim { return &MissSim{c: newCache(cfg)} }
 
 // Access touches addr and reports whether it hit.
 func (m *MissSim) Access(addr int64) bool {
-	if w := m.c.lookup(addr); w >= 0 {
-		m.c.touch(addr, w)
+	if i := m.c.find(addr); i >= 0 {
+		m.c.touchIdx(i)
 		return true
 	}
 	m.c.fill(addr, shared)

@@ -115,8 +115,8 @@ func (s *System) l2Access(addr, start int64) int64 {
 		start = s.bankFreeAt[bank]
 	}
 	var done int64
-	if w := s.l2.lookup(addr); w >= 0 {
-		s.l2.touch(addr, w)
+	if i := s.l2.find(addr); i >= 0 {
+		s.l2.touchIdx(i)
 		s.St.L2Hits++
 		done = start + s.Cfg.L2Lat
 	} else {
@@ -140,13 +140,13 @@ func (s *System) Read(core int, addr, now int64) (val uint64, doneAt int64) {
 	val = s.Flat.LoadW(addr)
 	s.TM.OnRead(core, addr)
 	c := s.l1d[core]
-	if w := c.lookup(addr); w >= 0 {
-		c.touch(addr, w)
+	if i := c.find(addr); i >= 0 {
+		c.touchIdx(i)
 		s.St.L1DHits[core]++
 		return val, now + c.cfg.HitLat
 	}
 	s.St.L1DMisses[core]++
-	// Bus transaction: snoop other L1s.
+	// Bus transaction: snoop other L1s (one tag scan per snooped cache).
 	t := s.acquireBus(now, s.Cfg.BusLat)
 	ownerFound := false
 	sharerFound := false
@@ -154,16 +154,20 @@ func (s *System) Read(core int, addr, now int64) (val uint64, doneAt int64) {
 		if i == core {
 			continue
 		}
-		switch o.stateOf(addr) {
+		li := o.find(addr)
+		if li < 0 {
+			continue
+		}
+		switch o.lines[li].state {
 		case modified, owned, exclusive:
 			ownerFound = true
 			// Owner supplies the line and degrades: M/E -> O keeps the
 			// dirty data supplier role (MOESI); E -> S would also be legal,
 			// we use O uniformly for suppliers of non-clean lines.
-			if o.stateOf(addr) == exclusive {
-				o.setState(addr, shared)
+			if o.lines[li].state == exclusive {
+				o.lines[li].state = shared
 			} else {
-				o.setState(addr, owned)
+				o.lines[li].state = owned
 			}
 		case shared:
 			sharerFound = true
@@ -194,38 +198,47 @@ func (s *System) Write(core int, addr, now int64, val uint64) (doneAt int64) {
 	s.TM.OnWrite(core, addr, s.Flat.LoadW(addr))
 	s.Flat.StoreW(addr, val)
 	c := s.l1d[core]
-	switch c.stateOf(addr) {
-	case modified:
-		c.touch(addr, c.lookup(addr))
-		s.St.L1DHits[core]++
-		return now + c.cfg.HitLat
-	case exclusive:
-		c.setState(addr, modified)
-		c.touch(addr, c.lookup(addr))
-		s.St.L1DHits[core]++
-		return now + c.cfg.HitLat
-	case shared, owned:
-		// Upgrade: invalidate other copies over the bus.
-		t := s.acquireBus(now, s.Cfg.BusLat)
-		s.St.UpgradeTransactions++
-		s.invalidateOthers(core, addr)
-		c.setState(addr, modified)
-		c.touch(addr, c.lookup(addr))
-		s.St.L1DHits[core]++
-		return t + c.cfg.HitLat
+	if li := c.find(addr); li >= 0 {
+		switch c.lines[li].state {
+		case modified:
+			c.touchIdx(li)
+			s.St.L1DHits[core]++
+			return now + c.cfg.HitLat
+		case exclusive:
+			c.lines[li].state = modified
+			c.touchIdx(li)
+			s.St.L1DHits[core]++
+			return now + c.cfg.HitLat
+		default: // shared, owned
+			// Upgrade: invalidate other copies over the bus.
+			t := s.acquireBus(now, s.Cfg.BusLat)
+			s.St.UpgradeTransactions++
+			s.invalidateOthers(core, addr)
+			c.lines[li].state = modified
+			c.touchIdx(li)
+			s.St.L1DHits[core]++
+			return t + c.cfg.HitLat
+		}
 	}
-	// Write miss: read-for-ownership.
+	// Write miss: read-for-ownership. One scan per snooped cache detects the
+	// owner and invalidates in the same pass.
 	s.St.L1DMisses[core]++
 	t := s.acquireBus(now, s.Cfg.BusLat)
 	owner := false
 	for i, o := range s.l1d {
-		if i != core && o.stateOf(addr) != invalid {
-			if st := o.stateOf(addr); st == modified || st == owned || st == exclusive {
-				owner = true
-			}
+		if i == core {
+			continue
 		}
+		li := o.find(addr)
+		if li < 0 {
+			continue
+		}
+		if st := o.lines[li].state; st == modified || st == owned || st == exclusive {
+			owner = true
+		}
+		o.lines[li].state = invalid
+		s.St.Invalidations++
 	}
-	s.invalidateOthers(core, addr)
 	if owner {
 		s.St.C2CTransfers++
 		t += s.Cfg.C2CLat
@@ -241,8 +254,8 @@ func (s *System) invalidateOthers(core int, addr int64) {
 		if i == core {
 			continue
 		}
-		if o.stateOf(addr) != invalid {
-			o.setState(addr, invalid)
+		if li := o.find(addr); li >= 0 {
+			o.lines[li].state = invalid
 			s.St.Invalidations++
 		}
 	}
@@ -261,8 +274,8 @@ func (s *System) fillL1D(core int, addr int64, st lineState) {
 // cycle the instruction is available.
 func (s *System) Fetch(core int, addr, now int64) (doneAt int64) {
 	c := s.l1i[core]
-	if w := c.lookup(addr); w >= 0 {
-		c.touch(addr, w)
+	if i := c.find(addr); i >= 0 {
+		c.touchIdx(i)
 		s.St.L1IHits[core]++
 		return now + c.cfg.HitLat
 	}

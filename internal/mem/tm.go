@@ -34,14 +34,22 @@ func NewTM(n int) *TM {
 	return &TM{tx: make([]txState, n)}
 }
 
-// Begin starts a transaction on core with the given chunk order.
+// Begin starts a transaction on core with the given chunk order. The
+// read/write-set maps and undo log are recycled across transactions on the
+// same core (chunked DOALL loops begin one transaction per chunk, so fresh
+// allocations here dominate the TM cost).
 func (tm *TM) Begin(core, order int) {
-	tm.tx[core] = txState{
-		active:   true,
-		order:    order,
-		readSet:  map[int64]bool{},
-		writeSet: map[int64]bool{},
+	t := &tm.tx[core]
+	if t.readSet == nil {
+		t.readSet = make(map[int64]bool)
+		t.writeSet = make(map[int64]bool)
+	} else {
+		clear(t.readSet)
+		clear(t.writeSet)
 	}
+	t.active, t.aborted = true, false
+	t.order = order
+	t.undoAddr, t.undoVal = t.undoAddr[:0], t.undoVal[:0]
 }
 
 // Active reports whether core has a live transaction.
@@ -115,8 +123,6 @@ func (tm *TM) Commit(core int) bool {
 		return false
 	}
 	t.active = false
-	t.readSet, t.writeSet = nil, nil
-	t.undoAddr, t.undoVal = nil, nil
 	return true
 }
 
@@ -127,7 +133,7 @@ func (tm *TM) Abort(core int, flat *Flat) {
 	for i := len(t.undoAddr) - 1; i >= 0; i-- {
 		flat.StoreW(t.undoAddr[i], t.undoVal[i])
 	}
-	tm.tx[core] = txState{}
+	t.active, t.aborted = false, false
 }
 
 // AbortAll rolls back every active transaction; used when a violation

@@ -8,9 +8,14 @@ package xnet
 
 import (
 	"fmt"
+	"math"
 
 	"voltron/internal/isa"
 )
+
+// NoWake is returned by the Next*At probes when no queued message will ever
+// satisfy the poll: only new network activity can unblock the receiver.
+const NoWake = int64(math.MaxInt64)
 
 // Topology arranges n cores in a mesh; core id = y*Cols + x.
 type Topology struct {
@@ -106,24 +111,31 @@ func (t Topology) Route(a, b int) []isa.Direction {
 // indicate compiler bugs, not runtime conditions).
 type DirectNet struct {
 	T Topology
-	// wires posted during the current cycle, keyed by (from, to).
-	wires map[[2]int]uint64
+	// wires holds one slot per (from, to) pair, indexed from*Cores()+to. A
+	// slot is live only when its generation matches the current cycle's, so
+	// BeginCycle invalidates every wire by bumping gen instead of clearing.
+	wires []wireSlot
+	gen   int64
 	cycle int64
 	// Transfers counts delivered values (for bandwidth accounting).
 	Transfers int64
 }
 
+type wireSlot struct {
+	gen int64
+	val uint64
+}
+
 // NewDirectNet creates the direct-mode network for a topology.
 func NewDirectNet(t Topology) *DirectNet {
-	return &DirectNet{T: t, wires: map[[2]int]uint64{}}
+	// gen starts at 1 so zero-valued slots are never live.
+	return &DirectNet{T: t, wires: make([]wireSlot, t.Cores()*t.Cores()), gen: 1}
 }
 
 // BeginCycle clears the wires for a new lock-step cycle.
 func (d *DirectNet) BeginCycle(cycle int64) {
 	d.cycle = cycle
-	for k := range d.wires {
-		delete(d.wires, k)
-	}
+	d.gen++
 }
 
 // Put drives the wire from core `from` toward direction dir.
@@ -132,11 +144,11 @@ func (d *DirectNet) Put(from int, dir isa.Direction, v uint64) error {
 	if to < 0 {
 		return fmt.Errorf("xnet: PUT off mesh edge: core %d dir %v", from, dir)
 	}
-	key := [2]int{from, to}
-	if _, dup := d.wires[key]; dup {
+	slot := &d.wires[from*d.T.Cores()+to]
+	if slot.gen == d.gen {
 		return fmt.Errorf("xnet: wire %d->%d driven twice in cycle %d", from, to, d.cycle)
 	}
-	d.wires[key] = v
+	slot.gen, slot.val = d.gen, v
 	return nil
 }
 
@@ -159,12 +171,12 @@ func (d *DirectNet) Get(to int, dir isa.Direction) (uint64, error) {
 	if from < 0 {
 		return 0, fmt.Errorf("xnet: GET off mesh edge: core %d dir %v", to, dir)
 	}
-	v, ok := d.wires[[2]int{from, to}]
-	if !ok {
+	slot := &d.wires[from*d.T.Cores()+to]
+	if slot.gen != d.gen {
 		return 0, fmt.Errorf("xnet: GET with no matching PUT on wire %d->%d in cycle %d", from, to, d.cycle)
 	}
 	d.Transfers++
-	return v, nil
+	return slot.val, nil
 }
 
 // message is one queue-mode value in flight or waiting in a receive queue.
@@ -197,6 +209,9 @@ type QueueNet struct {
 	Cap int
 	// inflight per destination core.
 	queues [][]message
+	// counts caches the per-(sender, receiver) queue occupancy, indexed
+	// from*Cores()+to, so CanSend is O(1) instead of a queue scan.
+	counts []int32
 	seq    int64
 	// Messages counts total sends; RecvWaits counts RECV polls that found
 	// nothing ready (an idle-cycle measure).
@@ -209,6 +224,7 @@ type QueueNet struct {
 func NewQueueNet(t Topology) *QueueNet {
 	q := &QueueNet{T: t, BaseLat: 2, HopLat: 1, Cap: 16}
 	q.queues = make([][]message, t.Cores())
+	q.counts = make([]int32, t.Cores()*t.Cores())
 	return q
 }
 
@@ -217,13 +233,7 @@ func (q *QueueNet) CanSend(from, to int) bool {
 	if q.Cap <= 0 {
 		return true
 	}
-	n := 0
-	for _, m := range q.queues[to] {
-		if m.from == from {
-			n++
-		}
-	}
-	return n < q.Cap
+	return q.counts[from*q.T.Cores()+to] < int32(q.Cap)
 }
 
 // Send enqueues a value from core `from` to core `to` at the given cycle.
@@ -235,6 +245,7 @@ func (q *QueueNet) Send(from, to int, v uint64, cycle int64) {
 		readyAt: cycle + q.BaseLat + hops*q.HopLat,
 		seq:     q.seq,
 	})
+	q.counts[from*q.T.Cores()+to]++
 	q.Messages++
 }
 
@@ -247,6 +258,7 @@ func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) {
 		readyAt: cycle + q.BaseLat + hops*q.HopLat,
 		seq:     q.seq,
 	})
+	q.counts[from*q.T.Cores()+to]++
 	q.Messages++
 }
 
@@ -268,8 +280,32 @@ func (q *QueueNet) Recv(to, from int, cycle int64) (uint64, bool) {
 		return 0, false
 	}
 	v := qq[best].val
+	q.counts[qq[best].from*q.T.Cores()+to]--
 	q.queues[to] = append(qq[:best], qq[best+1:]...)
 	return v, true
+}
+
+// NextRecvAt returns the cycle at which a RECV on core `to` polling sender
+// `from` would first succeed, given no further network activity: the arrival
+// time of the oldest matching message, or NoWake when none is queued. Recv
+// always pops the oldest (lowest-seq) matching message and succeeds only
+// once THAT message has arrived, so the probe reports its readyAt rather
+// than the minimum over all matches.
+func (q *QueueNet) NextRecvAt(to, from int) int64 {
+	qq := q.queues[to]
+	best := -1
+	for i, m := range qq {
+		if m.spawn || m.from != from {
+			continue
+		}
+		if best < 0 || m.seq < qq[best].seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return NoWake
+	}
+	return qq[best].readyAt
 }
 
 // RecvSpawn pops the oldest spawn message for an idle core.
@@ -288,8 +324,31 @@ func (q *QueueNet) RecvSpawn(to int, cycle int64) (uint64, bool) {
 		return 0, false
 	}
 	v := qq[best].val
+	q.counts[qq[best].from*q.T.Cores()+to]--
 	q.queues[to] = append(qq[:best], qq[best+1:]...)
 	return v, true
+}
+
+// NextSpawnAt returns the cycle at which an idle core `to` would first see a
+// spawn message, or NoWake when none is queued. Like NextRecvAt it reports
+// the oldest spawn message's arrival time (spawns from different senders
+// travel different distances, so a newer message can arrive earlier — but
+// RecvSpawn still waits for the oldest).
+func (q *QueueNet) NextSpawnAt(to int) int64 {
+	qq := q.queues[to]
+	best := -1
+	for i, m := range qq {
+		if !m.spawn {
+			continue
+		}
+		if best < 0 || m.seq < qq[best].seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return NoWake
+	}
+	return qq[best].readyAt
 }
 
 // Pending reports whether any message (arrived or in flight) is queued for
