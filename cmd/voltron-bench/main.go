@@ -7,6 +7,7 @@
 //	voltron-bench -fig 13         # one figure (3, 10, 11, 12, 13, 14)
 //	voltron-bench -fig 7          # the Figure 7-9 kernel speedups
 //	voltron-bench -bench cjpeg    # restrict to one benchmark
+//	voltron-bench -smoke          # fast subset (two benchmarks, three figures)
 //	voltron-bench -j 1            # force sequential evaluation
 //	voltron-bench -evalout BENCH_eval.json   # record wall-clock per figure
 //	voltron-bench -cpuprofile cpu.pprof      # profile the run (go tool pprof)
@@ -17,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -33,15 +35,27 @@ type evalTiming struct {
 }
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (0 = all)")
-	bench := flag.String("bench", "", "restrict to one benchmark")
-	scaling := flag.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
-	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
-	workers := flag.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
-	evalOut := flag.String("evalout", "", "write per-figure wall-clock timings to this JSON file")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "voltron-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("voltron-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate (0 = all)")
+	bench := fs.String("bench", "", "restrict to one benchmark")
+	smoke := fs.Bool("smoke", false, "fast subset: gsmdecode+rawcaudio, figures 3/12/13")
+	scaling := fs.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
+	workers := fs.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
+	evalOut := fs.String("evalout", "", "write per-figure wall-clock timings to this JSON file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Batch tool, short-lived, compile-heavy: trade peak heap for fewer GC
 	// cycles (as gofmt does). GOGC in the environment still takes priority.
@@ -52,11 +66,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -64,12 +78,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "voltron-bench:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // flush accumulated garbage so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "voltron-bench:", err)
 			}
 		}()
 	}
@@ -78,76 +93,88 @@ func main() {
 	if *bench != "" {
 		s.Benchmarks = []string{*bench}
 	}
+	if *smoke {
+		s.Benchmarks = []string{"gsmdecode", "rawcaudio"}
+	}
 	if *workers > 0 {
 		s.Workers = *workers
 	}
-	emit := func(t *exp.Table) {
+	emit := func(t *exp.Table) error {
 		if *jsonOut {
-			if err := t.WriteJSON(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
+			return t.WriteJSON(stdout)
 		}
-		t.Print(os.Stdout)
+		t.Print(stdout)
+		return nil
 	}
 	var timings []evalTiming
-	timed := func(name string, f func() error) {
+	timed := func(name string, f func() error) error {
 		start := time.Now()
 		if err := f(); err != nil {
-			fatal(err)
+			return err
 		}
 		timings = append(timings, evalTiming{Figure: name, Seconds: time.Since(start).Seconds()})
+		return nil
 	}
 	if *scaling {
-		timed("scaling", func() error {
+		if err := timed("scaling", func() error {
 			tab, err := s.Scaling()
 			if err != nil {
 				return err
 			}
-			emit(tab)
-			return nil
-		})
-		writeEval(*evalOut, s.Workers, timings)
-		return
+			return emit(tab)
+		}); err != nil {
+			return err
+		}
+		return writeEval(*evalOut, s.Workers, timings)
 	}
 	figs := []int{3, 7, 10, 11, 12, 13, 14}
+	if *smoke {
+		figs = []int{3, 12, 13}
+	}
 	if *fig != 0 {
 		figs = []int{*fig}
 	}
 	for _, f := range figs {
 		if f >= 7 && f <= 9 {
-			timed("fig7-9", func() error {
+			if err := timed("fig7-9", func() error {
 				res, err := exp.Fig7to9()
 				if err != nil {
 					return err
 				}
-				fmt.Println("Figures 7-9: kernel speedups on 2 cores (paper vs measured)")
+				fmt.Fprintln(stdout, "Figures 7-9: kernel speedups on 2 cores (paper vs measured)")
 				for _, r := range res {
-					fmt.Printf("  %-22s paper %.2fx   measured %.2fx\n", r.Name, r.PaperSpeedup, r.Measured2Core)
+					fmt.Fprintf(stdout, "  %-22s paper %.2fx   measured %.2fx\n", r.Name, r.PaperSpeedup, r.Measured2Core)
 				}
-				fmt.Println()
+				fmt.Fprintln(stdout)
 				return nil
-			})
+			}); err != nil {
+				return err
+			}
 			continue
 		}
-		timed(fmt.Sprintf("fig%d", f), func() error {
+		f := f
+		if err := timed(fmt.Sprintf("fig%d", f), func() error {
 			t, err := s.Figure(f)
 			if err != nil {
 				return err
 			}
-			emit(t)
-			fmt.Println()
+			if err := emit(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	writeEval(*evalOut, s.Workers, timings)
+	return writeEval(*evalOut, s.Workers, timings)
 }
 
 // writeEval records the run's timings (plus the host parallelism they were
 // measured under) so speedup claims are reproducible.
-func writeEval(path string, workers int, timings []evalTiming) {
+func writeEval(path string, workers int, timings []evalTiming) error {
 	if path == "" {
-		return
+		return nil
 	}
 	out := struct {
 		HostCPUs int          `json:"host_cpus"`
@@ -156,17 +183,10 @@ func writeEval(path string, workers int, timings []evalTiming) {
 	}{HostCPUs: runtime.NumCPU(), Workers: workers, Figures: timings}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "voltron-bench:", err)
-	os.Exit(1)
+	return enc.Encode(out)
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSmokeGolden pins the -smoke subset (two benchmarks, figures 3/12/13):
+// the evaluation numbers are deterministic, so any drift is a real change
+// in simulated behaviour.
+func TestSmokeGolden(t *testing.T) {
+	evalOut := filepath.Join(t.TempDir(), "eval.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-smoke", "-j", "1", "-evalout", evalOut}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -smoke: %v", err)
+	}
+	golden(t, "smoke.golden", stdout.Bytes())
+
+	b, err := os.ReadFile(evalOut)
+	if err != nil {
+		t.Fatalf("evalout not written: %v", err)
+	}
+	var eval struct {
+		Workers int `json:"workers"`
+		Figures []struct {
+			Figure  string  `json:"figure"`
+			Seconds float64 `json:"seconds"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(b, &eval); err != nil {
+		t.Fatalf("evalout does not parse: %v", err)
+	}
+	if eval.Workers != 1 || len(eval.Figures) != 3 {
+		t.Errorf("evalout: workers=%d figures=%d, want 1/3", eval.Workers, len(eval.Figures))
+	}
+}
+
+func TestFig7Golden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig", "7", "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -fig 7: %v", err)
+	}
+	golden(t, "fig7.golden", stdout.Bytes())
+}
+
+func TestSmokeJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-smoke", "-j", "1", "-fig", "12", "-json"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Title string `json:"title"`
+		Rows  []struct {
+			Benchmark string `json:"benchmark"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.Bytes())
+	}
+	if len(out.Rows) != 3 { // 2 benchmarks + average
+		t.Errorf("rows = %d, want 3", len(out.Rows))
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

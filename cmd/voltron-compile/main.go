@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"voltron/internal/compiler"
 	"voltron/internal/exp"
@@ -19,11 +21,22 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name (see internal/workload)")
-	kernel := flag.String("kernel", "", "built-in kernel: gsm-llp, gzip-strands, gsm-ilp")
-	cores := flag.Int("cores", 2, "number of cores")
-	strategy := flag.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "voltron-compile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("voltron-compile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark name (see internal/workload)")
+	kernel := fs.String("kernel", "", "built-in kernel: gsm-llp, gzip-strands, gsm-ilp")
+	cores := fs.Int("cores", 2, "number of cores")
+	strategy := fs.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var p *ir.Program
 	var err error
@@ -40,39 +53,42 @@ func main() {
 		err = fmt.Errorf("need -bench or -kernel")
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	strat := map[string]compiler.Strategy{
+	strat, ok := map[string]compiler.Strategy{
 		"serial": compiler.Serial, "ilp": compiler.ForceILP,
 		"ftlp": compiler.ForceFTLP, "llp": compiler.ForceLLP,
 		"hybrid": compiler.Hybrid,
 	}[*strategy]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
 	cp, err := compiler.Compile(p, compiler.Options{Cores: *cores, Strategy: strat})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, r := range cp.Regions {
-		fmt.Printf("=== region %q mode=%v ===\n", r.Name, r.Mode)
+		fmt.Fprintf(stdout, "=== region %q mode=%v ===\n", r.Name, r.Mode)
 		for c := 0; c < cp.Cores; c++ {
-			fmt.Printf("--- core %d (%d insts) ---\n", c, len(r.Code[c]))
+			fmt.Fprintf(stdout, "--- core %d (%d insts) ---\n", c, len(r.Code[c]))
 			rev := map[int][]int64{}
 			for lbl, idx := range r.Labels[c] {
 				rev[idx] = append(rev[idx], lbl)
 			}
+			// Deterministic dump: co-located labels print in ascending order.
+			for _, lbls := range rev {
+				sort.Slice(lbls, func(i, j int) bool { return lbls[i] < lbls[j] })
+			}
 			for i, in := range r.Code[c] {
 				for _, lbl := range rev[i] {
-					fmt.Printf("B%d:\n", lbl)
+					fmt.Fprintf(stdout, "B%d:\n", lbl)
 				}
-				fmt.Printf("  %4d  %v\n", i, in)
+				fmt.Fprintf(stdout, "  %4d  %v\n", i, in)
 			}
 		}
 		if len(r.Fallback) > 0 {
-			fmt.Printf("--- fallback (%d insts) ---\n", len(r.Fallback))
+			fmt.Fprintf(stdout, "--- fallback (%d insts) ---\n", len(r.Fallback))
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "voltron-compile:", err)
-	os.Exit(1)
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"voltron/internal/compiler"
@@ -22,20 +23,31 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "gsmdecode", "benchmark name (use -list)")
-	cores := flag.Int("cores", 4, "number of cores")
-	strategy := flag.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	verbose := flag.Bool("v", false, "per-core stall breakdown")
-	tracePath := flag.String("trace", "", "write a cycle-by-cycle issue trace to this file")
-	workers := flag.Int("j", 0, "measured-selection workers (0 = all host CPUs, 1 = sequential)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "voltron-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("voltron-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "gsmdecode", "benchmark name (use -list)")
+	cores := fs.Int("cores", 4, "number of cores")
+	strategy := fs.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	verbose := fs.Bool("v", false, "per-core stall breakdown")
+	tracePath := fs.String("trace", "", "write a cycle-by-cycle issue trace to this file")
+	workers := fs.Int("j", 0, "measured-selection workers (0 = all host CPUs, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return nil
 	}
 	strat, ok := map[string]compiler.Strategy{
 		"serial": compiler.Serial, "ilp": compiler.ForceILP,
@@ -43,64 +55,62 @@ func main() {
 		"hybrid": compiler.Hybrid,
 	}[*strategy]
 	if !ok {
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 	p, err := workload.Build(*bench)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pr, err := prof.Collect(p)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	run := func(s compiler.Strategy, n int, traced bool) *core.RunResult {
+	simulate := func(s compiler.Strategy, n int, traced bool) (*core.RunResult, error) {
 		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr, Workers: *workers})
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		cfg := core.DefaultConfig(n)
 		if traced && *tracePath != "" {
 			f, err := os.Create(*tracePath)
 			if err != nil {
-				fatal(err)
+				return nil, err
 			}
 			defer f.Close()
 			w := bufio.NewWriter(f)
 			defer w.Flush()
 			cfg.Trace = w
 		}
-		res, err := core.New(cfg).Run(cp)
-		if err != nil {
-			fatal(err)
-		}
-		return res
+		return core.New(cfg).Run(cp)
 	}
-	base := run(compiler.Serial, 1, false)
-	res := run(strat, *cores, true)
-	fmt.Printf("%s on %d cores (%s): %d cycles, speedup %.2fx over 1-core (%d cycles)\n",
+	base, err := simulate(compiler.Serial, 1, false)
+	if err != nil {
+		return err
+	}
+	res, err := simulate(strat, *cores, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s on %d cores (%s): %d cycles, speedup %.2fx over 1-core (%d cycles)\n",
 		*bench, *cores, strat, res.TotalCycles,
 		float64(base.TotalCycles)/float64(res.TotalCycles), base.TotalCycles)
-	fmt.Printf("mode occupancy: %.0f%% coupled / %.0f%% decoupled; spawns=%d tm-conflicts=%d\n",
+	fmt.Fprintf(stdout, "mode occupancy: %.0f%% coupled / %.0f%% decoupled; spawns=%d tm-conflicts=%d\n",
 		100*res.ModeFraction(stats.ModeCoupled), 100*res.ModeFraction(stats.ModeDecoupled),
 		res.Spawns, res.TMConflicts)
 	if *verbose {
 		for i := range res.Run.Cores {
 			c := &res.Run.Cores[i]
-			fmt.Printf("  core %d:", i)
+			fmt.Fprintf(stdout, "  core %d:", i)
 			for _, k := range stats.Kinds() {
 				if c.Cycles[k] > 0 {
-					fmt.Printf(" %s=%d", k, c.Cycles[k])
+					fmt.Fprintf(stdout, " %s=%d", k, c.Cycles[k])
 				}
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("  memory: L2 hits=%d misses=%d c2c=%d invalidations=%d writebacks=%d\n",
+		fmt.Fprintf(stdout, "  memory: L2 hits=%d misses=%d c2c=%d invalidations=%d writebacks=%d\n",
 			res.MemStats.L2Hits, res.MemStats.L2Misses, res.MemStats.C2CTransfers,
 			res.MemStats.Invalidations, res.MemStats.Writebacks)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "voltron-run:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden diffs got against testdata/name, rewriting it under -update.
+// Simulation and measured strategy selection are deterministic, so the
+// binary's stdout is stable across hosts and worker counts.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"list.golden", []string{"-list"}},
+		{"gsmdecode_hybrid_4.golden", []string{"-bench", "gsmdecode", "-cores", "4", "-strategy", "hybrid", "-j", "1"}},
+		{"rawcaudio_llp_2.golden", []string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-j", "1"}},
+		{"art_ftlp_2_verbose.golden", []string{"-bench", "179.art", "-cores", "2", "-strategy", "ftlp", "-v", "-j", "1"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			if err := run(c.args, &stdout, &stderr); err != nil {
+				t.Fatalf("run %v: %v", c.args, err)
+			}
+			golden(t, c.name, stdout.Bytes())
+		})
+	}
+}
+
+func TestTraceFile(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.txt")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-trace", trace, "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(b), "=== region") {
+		t.Errorf("trace has no region transitions:\n%.200s", b)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-strategy", "magic"}, &stdout, &stderr); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-bench", "nonesuch"}, &stdout, &stderr); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

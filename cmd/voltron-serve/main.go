@@ -1,0 +1,194 @@
+// voltron-serve exposes the compile-and-simulate pipeline as an HTTP JSON
+// service: jobs (benchmark or inline program × strategy × machine) run on
+// a bounded worker pool with content-addressed caching, per-request
+// timeouts, and graceful shutdown.
+//
+// Usage:
+//
+//	voltron-serve                          # listen on :8080
+//	voltron-serve -addr :9000 -workers 8   # custom listen address / pool
+//	voltron-serve -smoke -metricsout BENCH_serve.json
+//	                                       # self-drive a request mix, write
+//	                                       # the metrics snapshot, exit
+//
+// API:
+//
+//	GET  /healthz
+//	GET  /metrics
+//	GET  /v1/benchmarks
+//	POST /v1/jobs        {"bench": "gsmdecode", "strategy": "hybrid", "cores": 4, "baseline": true}
+//	GET  /v1/figures/13
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"voltron/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "voltron-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("voltron-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = all host CPUs)")
+	cacheN := fs.Int("cache", 256, "content-addressed cache entries (LRU bound)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
+	smoke := fs.Bool("smoke", false, "self-drive a request mix against an in-process server, then exit")
+	metricsOut := fs.String("metricsout", "", "with -smoke: write the final metrics snapshot to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheN,
+		RequestTimeout: *timeout,
+	})
+	if *smoke {
+		return runSmoke(srv, *metricsOut, stdout)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "voltron-serve: listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		// Graceful shutdown: stop accepting, drain in-flight jobs (which
+		// run synchronously inside handlers) up to the request timeout.
+		fmt.Fprintf(stdout, "voltron-serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
+// runSmoke drives a representative request mix through a real listener —
+// repeated jobs for cache hits, concurrent identical jobs for singleflight,
+// an inline program, a figure — then writes the metrics snapshot. It is the
+// CI benchmark probe (BENCH_serve.json) and doubles as an end-to-end
+// exercise of the full serving path.
+func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) error {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	post := func(body string) error {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/jobs %s: status %d: %s", body, resp.StatusCode, b)
+		}
+		return nil
+	}
+
+	if err := get("/healthz"); err != nil {
+		return err
+	}
+	if err := get("/v1/benchmarks"); err != nil {
+		return err
+	}
+	// Two rounds over a small bench × strategy grid: round one misses,
+	// round two must hit the content cache.
+	for round := 0; round < 2; round++ {
+		for _, bench := range []string{"rawcaudio", "gsmdecode"} {
+			for _, strat := range []string{"serial", "llp", "hybrid"} {
+				body := fmt.Sprintf(`{"bench": %q, "strategy": %q, "cores": 4, "baseline": true}`, bench, strat)
+				if err := post(body); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Concurrent identical jobs: singleflight under real HTTP.
+	inline := `{"program": {"name": "smoke", "kernels": [
+		{"kind": "pipeline", "name": "p", "table": 16384, "n": 16384, "work": 16},
+		{"kind": "doall-map", "name": "m", "n": 4096, "work": 8}
+	]}, "strategy": "llp", "cores": 4}`
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = post(inline)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := get("/v1/figures/12"); err != nil {
+		return err
+	}
+
+	m := srv.Metrics()
+	fmt.Fprintf(stdout, "smoke: %d jobs, %d simulations, cache %d hits / %d misses / %d deduped\n",
+		m.Jobs, m.Simulations, m.CacheHits, m.CacheMisses, m.CacheDeduped)
+	if m.CacheHits == 0 {
+		return fmt.Errorf("smoke: repeated jobs produced no cache hits")
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,8 +14,11 @@
 //	xnet      — dual-mode scalar operand network (direct + queue)
 //	core      — the machine: lock-step and decoupled execution
 //	compiler  — BUG, eBUG, DSWP, statistical DOALL, unrolling, selection
-//	workload  — the 25-benchmark synthetic suite
+//	workload  — the 25-benchmark synthetic suite + random program generator
 //	exp       — harnesses regenerating every figure of the evaluation
+//	stats     — simulation counters plus host-side metrics (histograms)
+//	server    — HTTP compile-and-simulate service with content-addressed
+//	            caching (cmd/voltron-serve)
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -1,0 +1,47 @@
+package voltron
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamples builds and executes every example program with `go run`,
+// asserting a zero exit status and the presence of a marker line that the
+// example's commentary depends on. This keeps the examples compiling and
+// truthful as the APIs they showcase evolve.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples shell out to go run")
+	}
+	cases := []struct {
+		dir     string
+		markers []string
+	}{
+		{"quickstart", []string{"result        : sum =", "mode occupancy:"}},
+		{"hybrid", []string{"hybrid beats every single technique"}},
+		{"gsmdecode-ilp", []string{"speedup"}},
+		{"gsmdecode-llp", []string{"speedup"}},
+		{"gzip-strands", []string{"speedup"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", c.dir))
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run examples/%s: %v\nstderr:\n%s", c.dir, err, stderr.String())
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(stdout.String(), m) {
+					t.Errorf("examples/%s output missing %q:\n%s", c.dir, m, stdout.String())
+				}
+			}
+		})
+	}
+}

@@ -7,137 +7,16 @@ import (
 
 	"voltron/internal/core"
 	"voltron/internal/interp"
-	"voltron/internal/ir"
 	"voltron/internal/isa"
+	"voltron/internal/workload"
 )
 
 // Randomized differential testing: generate random (but well-formed,
-// terminating) programs and require every strategy on every machine width
-// to reproduce the interpreter's memory image exactly. This exercises the
-// partitioners, both code generators, communication insertion, unrolling
-// and the DOALL transform against inputs nobody hand-picked.
-
-type progGen struct {
-	rng    *rand.Rand
-	p      *ir.Program
-	arrays []*ir.Array
-}
-
-func newProgGen(seed int64) *progGen {
-	g := &progGen{rng: rand.New(rand.NewSource(seed))}
-	g.p = ir.NewProgram(fmt.Sprintf("fuzz%d", seed))
-	na := 2 + g.rng.Intn(3)
-	for i := 0; i < na; i++ {
-		words := int64(16 << g.rng.Intn(3)) // 16..64
-		arr := g.p.Array(fmt.Sprintf("a%d", i), words)
-		for w := int64(0); w < words; w++ {
-			g.p.SetInit(arr, w, g.rng.Int63n(1000)-500)
-		}
-		g.arrays = append(g.arrays, arr)
-	}
-	return g
-}
-
-// pool tracks defined GPR values during generation.
-type valPool struct {
-	vals []ir.Value
-	rng  *rand.Rand
-}
-
-func (vp *valPool) pick() ir.Value { return vp.vals[vp.rng.Intn(len(vp.vals))] }
-func (vp *valPool) add(v ir.Value) { vp.vals = append(vp.vals, v) }
-
-// emitRandomOps appends n random ops to the block, keeping addresses in
-// bounds via masking (array sizes are powers of two).
-func (g *progGen) emitRandomOps(b *ir.Block, vp *valPool, bases map[*ir.Array]ir.Value, n int) {
-	for k := 0; k < n; k++ {
-		switch g.rng.Intn(8) {
-		case 0, 1, 2: // ALU
-			x, y := vp.pick(), vp.pick()
-			switch g.rng.Intn(5) {
-			case 0:
-				vp.add(b.Add(x, y))
-			case 1:
-				vp.add(b.Sub(x, y))
-			case 2:
-				vp.add(b.MulI(x, g.rng.Int63n(7)+1))
-			case 3:
-				vp.add(b.Xor(x, y))
-			case 4:
-				vp.add(b.AndI(x, 0xFFFF))
-			}
-		case 3, 4: // load
-			arr := g.arrays[g.rng.Intn(len(g.arrays))]
-			idx := b.AndI(vp.pick(), arr.Words-1)
-			addr := b.Add(bases[arr], b.ShlI(idx, 3))
-			vp.add(b.Load(arr, addr, 0))
-		case 5, 6: // store
-			arr := g.arrays[g.rng.Intn(len(g.arrays))]
-			idx := b.AndI(vp.pick(), arr.Words-1)
-			addr := b.Add(bases[arr], b.ShlI(idx, 3))
-			b.Store(arr, addr, 0, vp.pick())
-		default: // constant
-			vp.add(b.MovI(g.rng.Int63n(100)))
-		}
-	}
-}
-
-// genRegion appends one random region: straight-line, counted loop, or a
-// loop with a diamond inside.
-func (g *progGen) genRegion(i int) {
-	r := g.p.Region(fmt.Sprintf("r%d", i))
-	pre := r.NewBlock()
-	bases := map[*ir.Array]ir.Value{}
-	for _, arr := range g.arrays {
-		bases[arr] = pre.AddrOf(arr)
-	}
-	vp := &valPool{rng: g.rng}
-	vp.add(pre.MovI(g.rng.Int63n(50)))
-	vp.add(pre.MovI(g.rng.Int63n(50) + 3))
-	shape := g.rng.Intn(3)
-	switch shape {
-	case 0: // straight line
-		g.emitRandomOps(pre, vp, bases, 6+g.rng.Intn(10))
-		pre.ExitRegion()
-	case 1: // counted loop
-		trips := int64(8 << g.rng.Intn(2))
-		nops := 4 + g.rng.Intn(8)
-		after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(b *ir.Block, iv ir.Value) *ir.Block {
-			inner := &valPool{rng: g.rng, vals: append([]ir.Value{iv}, vp.vals...)}
-			g.emitRandomOps(b, inner, bases, nops)
-			return b
-		})
-		g.emitRandomOps(after, vp, bases, 2)
-		after.ExitRegion()
-	default: // loop with a diamond
-		trips := int64(8)
-		after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(body *ir.Block, iv ir.Value) *ir.Block {
-			inner := &valPool{rng: g.rng, vals: append([]ir.Value{iv}, vp.vals...)}
-			g.emitRandomOps(body, inner, bases, 3)
-			c := body.CmpLTI(inner.pick(), g.rng.Int63n(40))
-			then := r.NewBlock()
-			els := r.NewBlock()
-			join := r.NewBlock()
-			tp := &valPool{rng: g.rng, vals: append([]ir.Value(nil), inner.vals...)}
-			g.emitRandomOps(then, tp, bases, 2+g.rng.Intn(3))
-			then.JumpTo(join)
-			ep := &valPool{rng: g.rng, vals: append([]ir.Value(nil), inner.vals...)}
-			g.emitRandomOps(els, ep, bases, 2+g.rng.Intn(3))
-			els.JumpTo(join)
-			body.BranchIf(c, then, els)
-			return join
-		})
-		after.ExitRegion()
-	}
-	r.Seal()
-}
-
-func (g *progGen) build(regions int) (*ir.Program, error) {
-	for i := 0; i < regions; i++ {
-		g.genRegion(i)
-	}
-	return g.p, g.p.Verify()
-}
+// terminating) programs with workload.Random and require every strategy on
+// every machine width to reproduce the interpreter's memory image exactly.
+// This exercises the partitioners, both code generators, communication
+// insertion, unrolling and the DOALL transform against inputs nobody
+// hand-picked.
 
 func TestFuzzAllStrategiesMatchInterpreter(t *testing.T) {
 	seeds := 24
@@ -149,8 +28,7 @@ func TestFuzzAllStrategiesMatchInterpreter(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			g := newProgGen(int64(seed))
-			p, err := g.build(1 + seed%3)
+			p, err := workload.Random(int64(seed), 1+seed%3)
 			if err != nil {
 				t.Fatalf("generated program invalid: %v", err)
 			}
@@ -180,14 +58,49 @@ func TestFuzzAllStrategiesMatchInterpreter(t *testing.T) {
 	}
 }
 
+// FuzzCompileMatchesInterpreter is the native fuzz entry point (run in CI
+// as `go test -fuzz=Fuzz -fuzztime=30s`): the fuzzer explores (seed,
+// regions, strategy, cores) tuples, each of which deterministically names
+// a generated program, and any divergence from the interpreter's memory
+// image crashes with a reproducer in testdata/fuzz.
+func FuzzCompileMatchesInterpreter(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(1+seed%3), uint8(seed%5), uint8(seed%2))
+	}
+	strategies := []Strategy{Serial, ForceILP, ForceFTLP, ForceLLP, Hybrid}
+	f.Fuzz(func(t *testing.T, seed int64, regions, stratSel, coreSel uint8) {
+		p, err := workload.Random(seed, 1+int(regions)%3)
+		if err != nil {
+			t.Fatalf("generated program invalid: %v", err)
+		}
+		golden, err := interp.Run(p, interp.Options{})
+		if err != nil {
+			t.Fatalf("interp: %v", err)
+		}
+		s := strategies[int(stratSel)%len(strategies)]
+		cores := 2 + 2*(int(coreSel)%2)
+		cp, err := Compile(p, Options{Cores: cores, Strategy: s, Profile: mustProfile(t, p), Workers: 1})
+		if err != nil {
+			t.Fatalf("%v/%d: compile: %v", s, cores, err)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			t.Fatalf("%v/%d: run: %v", s, cores, err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			addr, a, b, _ := golden.Mem.FirstDiff(res.Mem)
+			t.Fatalf("seed %d %v/%d: memory diverges at %#x: interp=%d machine=%d",
+				seed, s, cores, addr, int64(a), int64(b))
+		}
+	})
+}
+
 func TestFuzzGeneratorDeterministic(t *testing.T) {
-	g1 := newProgGen(7)
-	p1, err := g1.build(2)
+	p1, err := workload.Random(7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2 := newProgGen(7)
-	p2, err := g2.build(2)
+	p2, err := workload.Random(7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"voltron/internal/isa"
+)
+
+// loopProgram builds a single-core counted loop of the given trip count in
+// the requested mode — the workhorse for cancellation tests (a huge trip
+// count stands in for a long-running simulation).
+func loopProgram(mode Mode, trips int64) *CompiledProgram {
+	p, out := srcProg(4)
+	a := newAsm()
+	a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 0}) // i
+	a.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+	a.label(1)
+	a.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Imm: 1})
+	a.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(1), Imm: trips})
+	a.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+	a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(3), Imm: out.Base})
+	a.emit(isa.Inst{Op: isa.STORE, Src1: isa.GPR(3), Src2: isa.GPR(1)})
+	a.emit(isa.Inst{Op: isa.HALT})
+	return &CompiledProgram{
+		Name: "loop", Cores: 1, Src: p,
+		Regions: []*CompiledRegion{{
+			Name: "r", Mode: mode,
+			Code:   [][]isa.Inst{a.code},
+			Labels: []map[int64]int{a.labels},
+			Entry:  []int{0}, StartAwake: []bool{true},
+		}},
+	}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	for _, mode := range []Mode{Coupled, Decoupled} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		// A trip count that would take far too long to simulate: only the
+		// cancellation poll can end this run in test time.
+		_, err := New(DefaultConfig(1)).RunContext(ctx, loopProgram(mode, 1<<40))
+		if err == nil {
+			t.Fatalf("%v: canceled run returned no error", mode)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: error does not wrap context.Canceled: %v", mode, err)
+		}
+	}
+}
+
+func TestRunContextCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(DefaultConfig(1)).RunContext(ctx, loopProgram(Decoupled, 1<<40))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error does not wrap context.Canceled: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation did not notice cancellation")
+	}
+}
+
+func TestRunContextUncanceledMatchesRun(t *testing.T) {
+	for _, mode := range []Mode{Coupled, Decoupled} {
+		cp := loopProgram(mode, 10_000)
+		plain, err := New(DefaultConfig(1)).Run(cp)
+		if err != nil {
+			t.Fatalf("%v: Run: %v", mode, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		withCtx, err := New(DefaultConfig(1)).RunContext(ctx, cp)
+		if err != nil {
+			t.Fatalf("%v: RunContext: %v", mode, err)
+		}
+		if plain.TotalCycles != withCtx.TotalCycles {
+			t.Errorf("%v: cycles diverge: Run %d, RunContext %d",
+				mode, plain.TotalCycles, withCtx.TotalCycles)
+		}
+	}
+}

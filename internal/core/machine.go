@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -175,10 +176,40 @@ type runState struct {
 	cr       *CompiledRegion
 	regionID int
 	lastProg int64
+	// ctx is the run's cancellation context (nil when the caller's context
+	// can never be canceled, so the hot loops skip the poll entirely);
+	// pollCtr rate-limits the ctx.Err() poll to one per 4096 loop passes.
+	ctx     context.Context
+	pollCtr uint32
+}
+
+// checkCancel polls the run's context at most once every 4096 calls, so the
+// simulation loops stay cancelable without a per-cycle atomic load. A
+// canceled run aborts with an error wrapping ctx.Err() (errors.Is with
+// context.Canceled / DeadlineExceeded works on it).
+func (rs *runState) checkCancel() error {
+	if rs.ctx == nil {
+		return nil
+	}
+	if rs.pollCtr++; rs.pollCtr&4095 != 0 {
+		return nil
+	}
+	if err := rs.ctx.Err(); err != nil {
+		return fmt.Errorf("simulation canceled at cycle %d: %w", rs.now, err)
+	}
+	return nil
 }
 
 // Run simulates the compiled program to completion.
 func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
+	return m.RunContext(context.Background(), cp)
+}
+
+// RunContext simulates the compiled program to completion, aborting early
+// (with an error wrapping ctx.Err()) once ctx is canceled. Cancellation is
+// polled from the simulation loops, so a long-running simulation notices a
+// canceled context within a bounded number of loop passes.
+func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResult, error) {
 	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,6 +227,9 @@ func (m *Machine) Run(cp *CompiledProgram) (*RunResult, error) {
 		statsOn: !m.cfg.NoStats,
 		trace:   m.cfg.Trace != nil,
 		ref:     m.cfg.Reference,
+	}
+	if ctx.Done() != nil {
+		rs.ctx = ctx
 	}
 	if m.cfg.QueueBaseLat > 0 {
 		rs.queue.BaseLat = m.cfg.QueueBaseLat
@@ -326,6 +360,9 @@ func clamp(v, lo, hi int64) int64 {
 func (rs *runState) runCoupled() error {
 	cr := rs.cr
 	for {
+		if err := rs.checkCancel(); err != nil {
+			return err
+		}
 		// Lock-step issue: every core must be able to issue this cycle;
 		// otherwise the stall bus stalls them all. Blocked cores release
 		// at fixed times (memory doneAt, fetch completion), so the next
@@ -456,6 +493,9 @@ func (rs *runState) runCoupled() error {
 func (rs *runState) runDecoupled() error {
 	cr := rs.cr
 	for {
+		if err := rs.checkCancel(); err != nil {
+			return err
+		}
 		allQuiet := true
 		anyActed := false
 		wake := neverWakes
@@ -670,6 +710,9 @@ func (rs *runState) runFallback() error {
 	defer func() { rs.regionID = saveRegion }()
 	rs.setPC(cs, 0)
 	for {
+		if err := rs.checkCancel(); err != nil {
+			return err
+		}
 		if rs.now < cs.stallUntil || rs.now < cs.fetchUntil {
 			// Stalled: jump to the release point (one cycle at a time for
 			// the reference stepper), charging the idled cores' rollback

@@ -216,6 +216,14 @@ func (s *Suite) profileFor(bench string) (*prof.Profile, error) {
 	})
 }
 
+// Program returns the (cached) IR of one benchmark. The returned program
+// is shared — callers must treat it as read-only (compiling it is fine:
+// the compiler's only in-place pass is PrepareOnce-guarded).
+func (s *Suite) Program(bench string) (*ir.Program, error) { return s.programFor(bench) }
+
+// Profile returns the (cached) profile of one benchmark.
+func (s *Suite) Profile(bench string) (*prof.Profile, error) { return s.profileFor(bench) }
+
 // Run returns the (cached) simulation of one configuration. Concurrent
 // calls with the same key share one simulation.
 func (s *Suite) Run(bench string, strat compiler.Strategy, cores int) (*core.RunResult, error) {

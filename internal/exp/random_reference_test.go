@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/prof"
+	"voltron/internal/workload"
+)
+
+// TestRandomProgramsEventDrivenMatchesReference feeds ~100 generated
+// programs through both simulator cores. The hand-written workloads in
+// TestEventDrivenMatchesReference pin the figures; this test hunts for
+// cycle-skipping bugs on shapes nobody curated, rotating the strategy and
+// machine width with the seed so every code generator meets both cores.
+func TestRandomProgramsEventDrivenMatchesReference(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 12
+	}
+	strategies := []compiler.Strategy{
+		compiler.Serial, compiler.ForceILP, compiler.ForceFTLP,
+		compiler.ForceLLP, compiler.Hybrid,
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		strat := strategies[seed%len(strategies)]
+		cores := 2 + 2*(seed/len(strategies)%2)
+		t.Run(fmt.Sprintf("seed%d_%v_%dcores", seed, strat, cores), func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.Random(int64(seed), 1+seed%3)
+			if err != nil {
+				t.Fatalf("generated program invalid: %v", err)
+			}
+			pr, err := prof.Collect(p)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: strat, Profile: pr, Workers: 1})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ev, err := core.New(core.DefaultConfig(cores)).Run(cp)
+			if err != nil {
+				t.Fatalf("event run: %v", err)
+			}
+			refCfg := core.DefaultConfig(cores)
+			refCfg.Reference = true
+			rf, err := core.New(refCfg).Run(cp)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if !reflect.DeepEqual(ev.RegionCycles, rf.RegionCycles) {
+				t.Errorf("RegionCycles: event %v, reference %v", ev.RegionCycles, rf.RegionCycles)
+			}
+			if !reflect.DeepEqual(ev.Run, rf.Run) {
+				t.Errorf("stats diverge:\nevent     %+v\nreference %+v", ev.Run, rf.Run)
+			}
+			if !reflect.DeepEqual(ev.MemStats, rf.MemStats) {
+				t.Errorf("memory stats diverge:\nevent     %+v\nreference %+v", ev.MemStats, rf.MemStats)
+			}
+			if !ev.Mem.Equal(rf.Mem) {
+				t.Error("final memory images diverge")
+			}
+		})
+	}
+}

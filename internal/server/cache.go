@@ -1,0 +1,109 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// cacheStatus classifies how a lookup was satisfied.
+type cacheStatus int
+
+const (
+	// cacheMiss: this request computed the value.
+	cacheMiss cacheStatus = iota
+	// cacheHit: the value was already cached.
+	cacheHit
+	// cacheDeduped: an identical request was in flight; this one waited for
+	// its result instead of computing (singleflight).
+	cacheDeduped
+)
+
+func (s cacheStatus) String() string {
+	switch s {
+	case cacheHit:
+		return "hit"
+	case cacheDeduped:
+		return "dedup"
+	}
+	return "miss"
+}
+
+// cache is a content-addressed result cache: bounded LRU over completed
+// entries plus singleflight deduplication of in-flight computations.
+// Values are immutable rendered response bodies, so concurrent identical
+// requests observe byte-identical results.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	lru     list.List // completed entries, front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	elem *list.Element // nil while in flight
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: map[string]*cacheEntry{}}
+}
+
+// get returns the value for key, computing it via fn at most once across
+// concurrent callers. Errors are not cached: the failed entry is removed so
+// a later request retries (this also covers cancellation — a canceled
+// claimant aborts its waiters with the same error, and the next identical
+// request starts fresh). A waiter whose own ctx is canceled stops waiting
+// and returns its ctx error; the in-flight computation continues for the
+// other waiters.
+func (c *cache) get(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, cacheStatus, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil { // completed
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e.val, cacheHit, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				return nil, cacheDeduped, e.err
+			}
+			return e.val, cacheDeduped, nil
+		case <-ctx.Done():
+			return nil, cacheDeduped, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+	} else {
+		e.elem = c.lru.PushFront(e)
+		for c.lru.Len() > c.max {
+			old := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+			delete(c.entries, old.key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	if e.err != nil {
+		return nil, cacheMiss, e.err
+	}
+	return e.val, cacheMiss, nil
+}
+
+// len reports the number of completed cached entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

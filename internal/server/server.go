@@ -1,0 +1,392 @@
+// Package server implements voltron-serve: an HTTP JSON API in front of
+// the compile-and-simulate pipeline. Jobs (benchmark or inline program ×
+// strategy × machine) run on a bounded worker pool; results are
+// content-addressed — the cache key is the SHA-256 of the canonicalized
+// request — so repeated and concurrent identical requests collapse onto
+// one simulation (singleflight) and an LRU-bounded cache. Requests carry
+// per-request timeouts whose cancellation is threaded into the simulator's
+// event loop (core.Machine.RunContext).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/exp"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+	"voltron/internal/stats"
+	"voltron/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrently running simulations. Defaults to
+	// runtime.GOMAXPROCS(0). Requests beyond the bound queue (their wait
+	// shows up as the queue_depth metric).
+	Workers int
+	// CacheEntries bounds the completed-result LRU. Defaults to 256.
+	CacheEntries int
+	// RequestTimeout bounds one job (queue wait + compile + simulate).
+	// Defaults to 2 minutes.
+	RequestTimeout time.Duration
+	// Suite optionally shares an experiment suite (benchmark programs,
+	// profiles, and figure results). Defaults to a fresh one.
+	Suite *exp.Suite
+}
+
+// Server serves compile-and-simulate jobs. Create with New, expose with
+// Handler, stop by shutting down the enclosing http.Server (jobs run
+// synchronously inside handlers, so draining handlers drains jobs).
+type Server struct {
+	cfg   Config
+	suite *exp.Suite
+	cache *cache
+	sem   chan struct{}
+	start time.Time
+
+	jobs        stats.Counter
+	simulations stats.Counter
+	hits        stats.Counter
+	misses      stats.Counter
+	deduped     stats.Counter
+	errorsN     stats.Counter
+	canceled    stats.Counter
+	queueDepth  stats.Counter
+	inFlight    stats.Counter
+	latency     map[string]*stats.Histogram
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = exp.NewSuite()
+		cfg.Suite.Workers = cfg.Workers
+	}
+	s := &Server{
+		cfg:     cfg,
+		suite:   cfg.Suite,
+		cache:   newCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.Workers),
+		start:   time.Now(),
+		latency: map[string]*stats.Histogram{},
+	}
+	for name := range strategies {
+		s.latency[name] = &stats.Histogram{}
+	}
+	return s
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz        — liveness
+//	GET  /metrics        — service counters and latency histograms (JSON)
+//	GET  /v1/benchmarks  — built-in benchmark names
+//	POST /v1/jobs        — run one compile-and-simulate job
+//	GET  /v1/figures/{n} — regenerate one paper figure (3, 10-14)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.Names()})
+}
+
+// MetricsSnapshot is the /metrics response.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                            `json:"uptime_seconds"`
+	Workers       int                                `json:"workers"`
+	Jobs          int64                              `json:"jobs"`
+	Simulations   int64                              `json:"simulations"`
+	CacheHits     int64                              `json:"cache_hits"`
+	CacheMisses   int64                              `json:"cache_misses"`
+	CacheDeduped  int64                              `json:"cache_deduped"`
+	CacheEntries  int                                `json:"cache_entries"`
+	Errors        int64                              `json:"errors"`
+	Canceled      int64                              `json:"canceled"`
+	QueueDepth    int64                              `json:"queue_depth"`
+	InFlight      int64                              `json:"in_flight"`
+	Latency       map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		Jobs:          s.jobs.Value(),
+		Simulations:   s.simulations.Value(),
+		CacheHits:     s.hits.Value(),
+		CacheMisses:   s.misses.Value(),
+		CacheDeduped:  s.deduped.Value(),
+		CacheEntries:  s.cache.len(),
+		Errors:        s.errorsN.Value(),
+		Canceled:      s.canceled.Value(),
+		QueueDepth:    s.queueDepth.Value(),
+		InFlight:      s.inFlight.Value(),
+		Latency:       map[string]stats.HistogramSnapshot{},
+	}
+	for name, h := range s.latency {
+		m.Latency[name] = h.Snapshot()
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// JobResponse is the /v1/jobs response body. It is rendered once per cache
+// key, so identical requests receive byte-identical bodies.
+type JobResponse struct {
+	Key          string           `json:"key"`
+	Bench        string           `json:"bench,omitempty"`
+	Program      string           `json:"program,omitempty"`
+	Strategy     string           `json:"strategy"`
+	Cores        int              `json:"cores"`
+	TotalCycles  int64            `json:"total_cycles"`
+	RegionCycles []int64          `json:"region_cycles"`
+	ModeCoupled  float64          `json:"mode_coupled"`
+	ModeDecoupl  float64          `json:"mode_decoupled"`
+	Spawns       int64            `json:"spawns"`
+	TMConflicts  int64            `json:"tm_conflicts"`
+	Stalls       map[string]int64 `json:"stalls"`
+	Mem          MemStats         `json:"mem"`
+	// BaselineCycles and Speedup are present when the request asked for a
+	// baseline comparison.
+	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// MemStats is the memory-system slice of the response.
+type MemStats struct {
+	L2Hits        int64 `json:"l2_hits"`
+	L2Misses      int64 `json:"l2_misses"`
+	C2CTransfers  int64 `json:"c2c_transfers"`
+	Invalidations int64 `json:"invalidations"`
+	Writebacks    int64 `json:"writebacks"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.normalize(func(b string) bool {
+		_, err := s.suite.Program(b)
+		return err == nil
+	}); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.jobs.Inc()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	startedAt := time.Now()
+	body, status, err := s.jobBody(ctx, &req)
+	switch status {
+	case cacheHit:
+		s.hits.Inc()
+	case cacheMiss:
+		s.misses.Inc()
+	case cacheDeduped:
+		s.deduped.Inc()
+	}
+	if err != nil {
+		s.errorsN.Inc()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.canceled.Inc()
+			writeError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			s.canceled.Inc()
+			// 499 Client Closed Request (nginx convention): the client is
+			// usually gone, but write a status anyway for proxies and tests.
+			writeError(w, 499, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.latency[req.Strategy].Observe(time.Since(startedAt))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Voltron-Cache", status.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// jobBody resolves one normalized job to its rendered response body via
+// the content-addressed cache.
+func (s *Server) jobBody(ctx context.Context, req *JobRequest) ([]byte, cacheStatus, error) {
+	key := req.key()
+	return s.cache.get(ctx, key, func() ([]byte, error) {
+		resp, err := s.runJob(ctx, req, key)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// runJob executes one normalized job (and, when asked, its serial
+// baseline) and assembles the response.
+func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, error) {
+	res, err := s.simulate(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	resp := &JobResponse{
+		Key:          key,
+		Bench:        req.Bench,
+		Strategy:     req.Strategy,
+		Cores:        req.Cores,
+		TotalCycles:  res.TotalCycles,
+		RegionCycles: res.RegionCycles,
+		ModeCoupled:  res.ModeFraction(stats.ModeCoupled),
+		ModeDecoupl:  res.ModeFraction(stats.ModeDecoupled),
+		Spawns:       res.Spawns,
+		TMConflicts:  res.TMConflicts,
+		Stalls:       map[string]int64{},
+		Mem: MemStats{
+			L2Hits:        res.MemStats.L2Hits,
+			L2Misses:      res.MemStats.L2Misses,
+			C2CTransfers:  res.MemStats.C2CTransfers,
+			Invalidations: res.MemStats.Invalidations,
+			Writebacks:    res.MemStats.Writebacks,
+		},
+	}
+	if req.Program != nil {
+		resp.Program = req.Program.Name
+	}
+	for _, k := range stats.Kinds() {
+		if n := res.Stall(k); n > 0 {
+			resp.Stalls[k.String()] = n
+		}
+	}
+	if req.Baseline && !(req.Strategy == "serial" && req.Cores == 1) {
+		// The baseline is itself a first-class job routed through the
+		// content cache, so it is simulated once no matter how many jobs
+		// compare against it (and a later direct serial request hits it).
+		base := *req
+		base.Strategy, base.Cores, base.Baseline = "serial", 1, false
+		body, _, err := s.jobBody(ctx, &base)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		var bresp JobResponse
+		if err := json.Unmarshal(body, &bresp); err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		resp.BaselineCycles = bresp.TotalCycles
+		if res.TotalCycles > 0 {
+			resp.Speedup = float64(bresp.TotalCycles) / float64(res.TotalCycles)
+		}
+	}
+	return resp, nil
+}
+
+// simulate compiles and runs one normalized job under a worker-pool slot.
+// The slot is bounded by Config.Workers; waiting for it respects ctx, so a
+// canceled request never occupies (or leaks) a slot.
+func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, error) {
+	var (
+		p   *ir.Program
+		pr  *prof.Profile
+		err error
+	)
+	if req.Bench != "" {
+		if p, err = s.suite.Program(req.Bench); err != nil {
+			return nil, err
+		}
+		if pr, err = s.suite.Profile(req.Bench); err != nil {
+			return nil, err
+		}
+	} else if p, err = req.Program.Build(); err != nil {
+		return nil, err
+	}
+	s.queueDepth.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queueDepth.Add(-1)
+	case <-ctx.Done():
+		s.queueDepth.Add(-1)
+		return nil, fmt.Errorf("waiting for a worker slot: %w", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.simulations.Inc()
+
+	opts := req.compilerOptions()
+	opts.Profile = pr // nil for inline programs: the compiler profiles them
+	cp, err := compiler.Compile(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil { // compile finished after cancellation
+		return nil, err
+	}
+	return core.New(req.machineConfig()).RunContext(ctx, cp)
+}
+
+// handleFigure regenerates one paper figure through the shared suite. The
+// suite memoizes each (bench, strategy, cores) run, so repeated figure
+// requests re-simulate nothing.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad figure number %q", r.PathValue("n")))
+		return
+	}
+	tab, err := s.suite.Figure(n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := tab.WriteJSON(w); err != nil {
+		s.errorsN.Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voltron/internal/ir"
+)
+
+// Random returns a pseudo-random but well-formed, terminating program:
+// 1-3 initialized arrays and `regions` regions that are straight-line
+// code, counted loops, or loops with a control-flow diamond inside, all
+// mixing ALU ops with in-bounds loads and stores. The same (seed,
+// regions) pair always yields the same program, so callers can use seeds
+// as reproducible test-case names. Differential testers (compiler fuzz,
+// event-driven vs reference) share this one generator so a bug shakes
+// out everywhere at once.
+func Random(seed int64, regions int) (*ir.Program, error) {
+	g := newRandGen(seed)
+	for i := 0; i < regions; i++ {
+		g.genRegion(i)
+	}
+	return g.p, g.p.Verify()
+}
+
+type randGen struct {
+	rng    *rand.Rand
+	p      *ir.Program
+	arrays []*ir.Array
+}
+
+func newRandGen(seed int64) *randGen {
+	g := &randGen{rng: rand.New(rand.NewSource(seed))}
+	g.p = ir.NewProgram(fmt.Sprintf("fuzz%d", seed))
+	na := 2 + g.rng.Intn(3)
+	for i := 0; i < na; i++ {
+		words := int64(16 << g.rng.Intn(3)) // 16..64
+		arr := g.p.Array(fmt.Sprintf("a%d", i), words)
+		for w := int64(0); w < words; w++ {
+			g.p.SetInit(arr, w, g.rng.Int63n(1000)-500)
+		}
+		g.arrays = append(g.arrays, arr)
+	}
+	return g
+}
+
+// randPool tracks defined GPR values during generation.
+type randPool struct {
+	vals []ir.Value
+	rng  *rand.Rand
+}
+
+func (vp *randPool) pick() ir.Value { return vp.vals[vp.rng.Intn(len(vp.vals))] }
+func (vp *randPool) add(v ir.Value) { vp.vals = append(vp.vals, v) }
+
+// emitRandomOps appends n random ops to the block, keeping addresses in
+// bounds via masking (array sizes are powers of two).
+func (g *randGen) emitRandomOps(b *ir.Block, vp *randPool, bases map[*ir.Array]ir.Value, n int) {
+	for k := 0; k < n; k++ {
+		switch g.rng.Intn(8) {
+		case 0, 1, 2: // ALU
+			x, y := vp.pick(), vp.pick()
+			switch g.rng.Intn(5) {
+			case 0:
+				vp.add(b.Add(x, y))
+			case 1:
+				vp.add(b.Sub(x, y))
+			case 2:
+				vp.add(b.MulI(x, g.rng.Int63n(7)+1))
+			case 3:
+				vp.add(b.Xor(x, y))
+			case 4:
+				vp.add(b.AndI(x, 0xFFFF))
+			}
+		case 3, 4: // load
+			arr := g.arrays[g.rng.Intn(len(g.arrays))]
+			idx := b.AndI(vp.pick(), arr.Words-1)
+			addr := b.Add(bases[arr], b.ShlI(idx, 3))
+			vp.add(b.Load(arr, addr, 0))
+		case 5, 6: // store
+			arr := g.arrays[g.rng.Intn(len(g.arrays))]
+			idx := b.AndI(vp.pick(), arr.Words-1)
+			addr := b.Add(bases[arr], b.ShlI(idx, 3))
+			b.Store(arr, addr, 0, vp.pick())
+		default: // constant
+			vp.add(b.MovI(g.rng.Int63n(100)))
+		}
+	}
+}
+
+// genRegion appends one random region: straight-line, counted loop, or a
+// loop with a diamond inside.
+func (g *randGen) genRegion(i int) {
+	r := g.p.Region(fmt.Sprintf("r%d", i))
+	pre := r.NewBlock()
+	bases := map[*ir.Array]ir.Value{}
+	for _, arr := range g.arrays {
+		bases[arr] = pre.AddrOf(arr)
+	}
+	vp := &randPool{rng: g.rng}
+	vp.add(pre.MovI(g.rng.Int63n(50)))
+	vp.add(pre.MovI(g.rng.Int63n(50) + 3))
+	shape := g.rng.Intn(3)
+	switch shape {
+	case 0: // straight line
+		g.emitRandomOps(pre, vp, bases, 6+g.rng.Intn(10))
+		pre.ExitRegion()
+	case 1: // counted loop
+		trips := int64(8 << g.rng.Intn(2))
+		nops := 4 + g.rng.Intn(8)
+		after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(b *ir.Block, iv ir.Value) *ir.Block {
+			inner := &randPool{rng: g.rng, vals: append([]ir.Value{iv}, vp.vals...)}
+			g.emitRandomOps(b, inner, bases, nops)
+			return b
+		})
+		g.emitRandomOps(after, vp, bases, 2)
+		after.ExitRegion()
+	default: // loop with a diamond
+		trips := int64(8)
+		after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, Limit: trips, Step: 1}, func(body *ir.Block, iv ir.Value) *ir.Block {
+			inner := &randPool{rng: g.rng, vals: append([]ir.Value{iv}, vp.vals...)}
+			g.emitRandomOps(body, inner, bases, 3)
+			c := body.CmpLTI(inner.pick(), g.rng.Int63n(40))
+			then := r.NewBlock()
+			els := r.NewBlock()
+			join := r.NewBlock()
+			tp := &randPool{rng: g.rng, vals: append([]ir.Value(nil), inner.vals...)}
+			g.emitRandomOps(then, tp, bases, 2+g.rng.Intn(3))
+			then.JumpTo(join)
+			ep := &randPool{rng: g.rng, vals: append([]ir.Value(nil), inner.vals...)}
+			g.emitRandomOps(els, ep, bases, 2+g.rng.Intn(3))
+			els.JumpTo(join)
+			body.BranchIf(c, then, els)
+			return join
+		})
+		after.ExitRegion()
+	}
+	r.Seal()
+}
