@@ -17,6 +17,7 @@ import (
 	"voltron/internal/compiler"
 	"voltron/internal/exp"
 	"voltron/internal/ir"
+	"voltron/internal/spec"
 	"voltron/internal/workload"
 )
 
@@ -32,8 +33,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "", "benchmark name (see internal/workload)")
 	kernel := fs.String("kernel", "", "built-in kernel: gsm-llp, gzip-strands, gsm-ilp")
-	cores := fs.Int("cores", 2, "number of cores")
-	strategy := fs.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	cores := spec.CoresFlag(fs)
+	strategy := spec.StrategyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,11 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	strat, ok := map[string]compiler.Strategy{
-		"serial": compiler.Serial, "ilp": compiler.ForceILP,
-		"ftlp": compiler.ForceFTLP, "llp": compiler.ForceLLP,
-		"hybrid": compiler.Hybrid,
-	}[*strategy]
+	strat, ok := spec.StrategyFor(*strategy)
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}

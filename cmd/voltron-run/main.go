@@ -6,6 +6,8 @@
 //	voltron-run -bench gsmdecode -cores 4 -strategy hybrid
 //	voltron-run -bench 179.art -cores 2 -strategy ftlp -v
 //	voltron-run -bench rawcaudio -j 1        # sequential measured selection
+//	voltron-run -bench cjpeg -trace out.json # Chrome trace (open in Perfetto)
+//	voltron-run -bench cjpeg -stalls         # stall-attribution report
 package main
 
 import (
@@ -18,7 +20,9 @@ import (
 	"voltron/internal/compiler"
 	"voltron/internal/core"
 	"voltron/internal/prof"
+	"voltron/internal/spec"
 	"voltron/internal/stats"
+	"voltron/internal/trace"
 	"voltron/internal/workload"
 )
 
@@ -33,11 +37,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("voltron-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "gsmdecode", "benchmark name (use -list)")
-	cores := fs.Int("cores", 4, "number of cores")
-	strategy := fs.String("strategy", "hybrid", "serial|ilp|ftlp|llp|hybrid")
+	cores := spec.CoresFlag(fs)
+	strategy := spec.StrategyFlag(fs)
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	verbose := fs.Bool("v", false, "per-core stall breakdown")
-	tracePath := fs.String("trace", "", "write a cycle-by-cycle issue trace to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace (Perfetto-loadable JSON) to this file")
+	traceText := fs.String("trace-text", "", "write the cycle-by-cycle instruction issue trace to this file")
+	stalls := fs.Bool("stalls", false, "print the per-region stall-attribution report")
 	workers := fs.Int("j", 0, "measured-selection workers (0 = all host CPUs, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,11 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
-	strat, ok := map[string]compiler.Strategy{
-		"serial": compiler.Serial, "ilp": compiler.ForceILP,
-		"ftlp": compiler.ForceFTLP, "llp": compiler.ForceLLP,
-		"hybrid": compiler.Hybrid,
-	}[*strategy]
+	strat, ok := spec.StrategyFor(*strategy)
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
@@ -65,21 +67,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tracing := *tracePath != "" || *traceText != "" || *stalls
+	var tr *trace.Tracer
 	simulate := func(s compiler.Strategy, n int, traced bool) (*core.RunResult, error) {
 		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr, Workers: *workers})
 		if err != nil {
 			return nil, err
 		}
 		cfg := core.DefaultConfig(n)
-		if traced && *tracePath != "" {
-			f, err := os.Create(*tracePath)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			w := bufio.NewWriter(f)
-			defer w.Flush()
-			cfg.Trace = w
+		if traced && tracing {
+			tr = trace.New()
+			cfg.Tracer = tr
 		}
 		return core.New(cfg).Run(cp)
 	}
@@ -89,6 +87,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	res, err := simulate(strat, *cores, true)
 	if err != nil {
+		// An aborted run (deadlock, schedule violation) still dumps the
+		// requested traces — that is when they are most needed.
+		if tr != nil && *traceText != "" {
+			writeRendered(*traceText, tr.WriteText)
+		}
+		if tr != nil && *tracePath != "" {
+			writeRendered(*tracePath, tr.WriteChrome)
+		}
 		return err
 	}
 	fmt.Fprintf(stdout, "%s on %d cores (%s): %d cycles, speedup %.2fx over 1-core (%d cycles)\n",
@@ -112,5 +118,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 			res.MemStats.L2Hits, res.MemStats.L2Misses, res.MemStats.C2CTransfers,
 			res.MemStats.Invalidations, res.MemStats.Writebacks)
 	}
+	if *stalls {
+		if err := tr.Report().WriteText(stdout); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeRendered(*tracePath, tr.WriteChrome); err != nil {
+			return err
+		}
+	}
+	if *traceText != "" {
+		if err := writeRendered(*traceText, tr.WriteText); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeRendered renders one trace view into a freshly created file.
+func writeRendered(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := render(w); err != nil {
+		return err
+	}
+	return w.Flush()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -58,18 +59,63 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestTraceFile: -trace writes deterministic Chrome trace-event JSON (two
+// runs produce byte-identical files), -trace-text writes the legacy
+// per-instruction issue trace.
 func TestTraceFile(t *testing.T) {
-	trace := filepath.Join(t.TempDir(), "trace.txt")
+	traceOf := func(dir string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, "trace.json")
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-trace", path, "-j", "1"}, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("trace not written: %v", err)
+		}
+		return b
+	}
+	a := traceOf(t.TempDir())
+	if !json.Valid(a) {
+		t.Errorf("trace is not valid JSON:\n%.200s", a)
+	}
+	if !strings.Contains(string(a), "traceEvents") {
+		t.Errorf("trace has no traceEvents array:\n%.200s", a)
+	}
+	if b := traceOf(t.TempDir()); !bytes.Equal(a, b) {
+		t.Errorf("identical runs wrote different traces")
+	}
+}
+
+func TestTraceTextFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-trace", trace, "-j", "1"}, &stdout, &stderr); err != nil {
+	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-trace-text", path, "-j", "1"}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(trace)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("trace not written: %v", err)
 	}
 	if !strings.Contains(string(b), "=== region") {
 		t.Errorf("trace has no region transitions:\n%.200s", b)
+	}
+}
+
+// TestStallsReport: -stalls prints the attribution table; its rows must be
+// consistent with the verbose per-core stall breakdown of the same run.
+func TestStallsReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "llp", "-stalls", "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "stall attribution") {
+		t.Errorf("-stalls printed no report:\n%.300s", out)
+	}
+	if !strings.Contains(out, "TOTAL") {
+		t.Errorf("report has no TOTAL row:\n%s", out)
 	}
 }
 

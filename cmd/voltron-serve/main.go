@@ -136,6 +136,9 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 	if err := get("/v1/benchmarks"); err != nil {
 		return err
 	}
+	if err := get("/v1/strategies"); err != nil {
+		return err
+	}
 	// Two rounds over a small bench × strategy grid: round one misses,
 	// round two must hit the content cache.
 	for round := 0; round < 2; round++ {
@@ -169,6 +172,29 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 		}
 	}
 	if err := get("/v1/figures/12"); err != nil {
+		return err
+	}
+	// A traced job: the response must link a fetchable Chrome trace.
+	tr, err := http.Post(base+"/v1/jobs", "application/json",
+		bytes.NewReader([]byte(`{"bench": "rawcaudio", "strategy": "hybrid", "cores": 2, "trace": true}`)))
+	if err != nil {
+		return err
+	}
+	tb, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced job: status %d: %s", tr.StatusCode, tb)
+	}
+	var traced struct {
+		TraceURL string `json:"trace_url"`
+	}
+	if err := json.Unmarshal(tb, &traced); err != nil {
+		return err
+	}
+	if traced.TraceURL == "" {
+		return fmt.Errorf("traced job response has no trace_url: %s", tb)
+	}
+	if err := get(traced.TraceURL); err != nil {
 		return err
 	}
 

@@ -9,6 +9,7 @@ import (
 	"voltron/internal/isa"
 	"voltron/internal/mem"
 	"voltron/internal/stats"
+	"voltron/internal/trace"
 	"voltron/internal/xnet"
 )
 
@@ -35,9 +36,19 @@ type Config struct {
 	// QueueCap overrides the per-(sender,receiver) queue capacity when
 	// nonzero (-1 = unbounded).
 	QueueCap int
-	// Trace, when non-nil, receives one line per issued instruction and
-	// per region transition — the machine's debugging facility.
+	// Trace, when non-nil, receives the legacy text trace — one line per
+	// issued instruction and per region transition. It is rendered from the
+	// structured event stream (trace.Tracer.WriteText) when the run
+	// completes or fails; the simulator no longer formats text on its hot
+	// path.
 	Trace io.Writer
+	// Tracer, when non-nil, collects the structured timeline of the run:
+	// per-core stall spans, operand- and queue-network events, spawn/sleep
+	// transitions, cache-miss fills, transactions and region boundaries.
+	// Render with its WriteChrome/WriteText/Report methods. Nil tracing
+	// costs a single nil check at each emit site; the event loop stays
+	// allocation-free either way (enforced by TestEventLoopZeroAllocs).
+	Tracer *trace.Tracer
 	// Reference selects the retained naive stepper: the simulator advances
 	// one cycle at a time instead of jumping to the next wake event. Cycle
 	// counts and stats are identical either way (the cycle-exactness tests
@@ -167,10 +178,11 @@ type runState struct {
 	cores  []*coreState
 	now    int64
 	// statsOn gates the per-cycle stall accounting (cleared by
-	// Config.NoStats); trace gates the debugging sink so disabled tracing
-	// costs one branch; ref selects the naive per-cycle stepper.
+	// Config.NoStats); tr is the structured event collector (nil = tracing
+	// off, one branch per emit site); ref selects the naive per-cycle
+	// stepper.
 	statsOn bool
-	trace   bool
+	tr      *trace.Tracer
 	ref     bool
 	// current region context
 	cr       *CompiledRegion
@@ -225,9 +237,21 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 		queue:   xnet.NewQueueNet(m.top),
 		run:     stats.NewRun(m.cfg.Cores),
 		statsOn: !m.cfg.NoStats,
-		trace:   m.cfg.Trace != nil,
+		tr:      m.cfg.Tracer,
 		ref:     m.cfg.Reference,
 	}
+	if rs.tr == nil && m.cfg.Trace != nil {
+		// A text-only trace still flows through the structured stream: the
+		// machine collects events and renders them below.
+		rs.tr = trace.New()
+	}
+	if m.cfg.Trace != nil {
+		// Render on the way out so the text trace survives aborted runs
+		// (deadlocks, schedule violations) exactly as the streamed legacy
+		// trace did.
+		defer rs.tr.WriteText(m.cfg.Trace)
+	}
+	rs.sys.Tracer = rs.tr
 	if ctx.Done() != nil {
 		rs.ctx = ctx
 	}
@@ -243,8 +267,8 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 	res := &RunResult{Run: rs.run, Mem: flat}
 	prevMode := Mode(-1)
 	for i, cr := range cp.Regions {
-		if rs.trace {
-			rs.tracef("=== region %q mode=%v cycle=%d\n", cr.Name, cr.Mode, rs.now)
+		if rs.tr != nil {
+			rs.tr.RegionBegin(rs.now, cr.Name, cr.Mode.String(), m.cfg.Cores)
 		}
 		start := rs.now
 		// Region barrier (+ mode switch when the mode changes).
@@ -256,6 +280,9 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 		rs.now += overhead
 		if err := rs.runRegion(i, cr); err != nil {
 			return nil, fmt.Errorf("region %q: %w", cr.Name, err)
+		}
+		if rs.tr != nil {
+			rs.tr.RegionEnd(rs.now)
 		}
 		cycles := rs.now - start
 		res.RegionCycles = append(res.RegionCycles, cycles)
@@ -269,11 +296,15 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 }
 
 func (rs *runState) chargeAll(k stats.Kind, n int64) {
-	if !rs.statsOn {
-		return
+	if rs.statsOn {
+		for i := range rs.run.Cores {
+			rs.run.Cores[i].Add(k, n)
+		}
 	}
-	for i := range rs.run.Cores {
-		rs.run.Cores[i].Add(k, n)
+	if rs.tr != nil {
+		for i := range rs.run.Cores {
+			rs.tr.Charge(rs.now, i, k, n)
+		}
 	}
 }
 
@@ -281,29 +312,24 @@ func (rs *runState) charge(core int, k stats.Kind) {
 	if rs.statsOn {
 		rs.run.Cores[core].Add(k, 1)
 	}
-}
-
-// chargeN charges n cycles of kind k at once — the event-driven loops use
-// it to account a whole skipped stall window in one step.
-func (rs *runState) chargeN(core int, k stats.Kind, n int64) {
-	if rs.statsOn && n > 0 {
-		rs.run.Cores[core].Add(k, n)
+	if rs.tr != nil {
+		rs.tr.Charge(rs.now, core, k, 1)
 	}
 }
 
-// tracef writes to the configured trace sink, if any. Callers on the hot
-// path must guard with rs.trace so a disabled trace costs one branch and no
-// argument boxing.
-func (rs *runState) tracef(format string, args ...any) {
-	if rs.m.cfg.Trace != nil {
-		fmt.Fprintf(rs.m.cfg.Trace, format, args...)
+// chargeSpan charges the half-open cycle window [from, to) of kind k — the
+// event-driven loops use it to account a whole skipped stall window in one
+// step. The tracer receives the same window, so stall attribution and the
+// stats package always agree (they are charged at the same sites).
+func (rs *runState) chargeSpan(core int, k stats.Kind, from, to int64) {
+	if to <= from {
+		return
 	}
-}
-
-// traceIssue logs one issued instruction.
-func (rs *runState) traceIssue(cs *coreState, in *isa.Inst) {
-	if rs.m.cfg.Trace != nil {
-		fmt.Fprintf(rs.m.cfg.Trace, "%8d c%d %4d  %v\n", rs.now, cs.id, cs.pc, in)
+	if rs.statsOn {
+		rs.run.Cores[core].Add(k, to-from)
+	}
+	if rs.tr != nil {
+		rs.tr.Charge(from, core, k, to-from)
 	}
 }
 
@@ -387,9 +413,15 @@ func (rs *runState) runCoupled() error {
 			for _, cs := range rs.cores {
 				s := clamp(cs.stallUntil, rs.now, to)
 				f := clamp(cs.fetchUntil, s, to)
-				rs.chargeN(cs.id, cs.stallKind, s-rs.now)
-				rs.chargeN(cs.id, stats.IStall, f-s)
-				rs.chargeN(cs.id, stats.Lockstep, to-f)
+				rs.chargeSpan(cs.id, cs.stallKind, rs.now, s)
+				rs.chargeSpan(cs.id, stats.IStall, s, f)
+				rs.chargeSpan(cs.id, stats.Lockstep, f, to)
+			}
+			if rs.tr != nil && to == wake {
+				// The stall bus releases every core at wake. Under the
+				// reference stepper the recorded window is the final
+				// single-cycle step; the release cycle is identical.
+				rs.tr.StallRelease(wake, wake-rs.now)
 			}
 			rs.now = to
 			if rs.ref {
@@ -411,12 +443,18 @@ func (rs *runState) runCoupled() error {
 				if err := rs.direct.Put(cs.id, in.Dir, cs.get(in.Src1)); err != nil {
 					return err
 				}
+				if rs.tr != nil {
+					rs.tr.Put(rs.now, cs.id, in.Dir)
+				}
 			case isa.BCAST:
 				if err := rs.checkOperands(cs, in); err != nil {
 					return err
 				}
 				if err := rs.direct.Broadcast(cs.id, cs.get(in.Src1)); err != nil {
 					return err
+				}
+				if rs.tr != nil {
+					rs.tr.Bcast(rs.now, cs.id)
 				}
 			}
 		}
@@ -432,8 +470,8 @@ func (rs *runState) runCoupled() error {
 			if err := rs.execInst(cs, in, true); err != nil {
 				return err
 			}
-			if rs.trace {
-				rs.traceIssue(cs, in)
+			if rs.tr != nil {
+				rs.tr.Issue(rs.now, cs.id, cs.pc, in)
 			}
 			rs.charge(cs.id, stats.Busy)
 			if cs.issuedBranch {
@@ -530,6 +568,9 @@ func (rs *runState) runDecoupled() error {
 						if !rs.sys.TM.Commit(cs.id) {
 							return rs.runFallback()
 						}
+						if rs.tr != nil {
+							rs.tr.TxCommit(rs.now, cs.id)
+						}
 						cs.txwait, cs.txactive = false, false
 						anyActed = true
 					}
@@ -579,7 +620,7 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 		rs.charge(cs.id, stats.SyncCallRet)
 		return false, neverWakes, nil
 	case !cs.awake:
-		if addr, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
+		if addr, seq, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
 			idx, lbl := cr.lookupLabel(cs.id, int64(addr))
 			if !lbl {
 				return false, 0, fmt.Errorf("core %d: spawned at unknown block %d", cs.id, addr)
@@ -588,6 +629,9 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 			rs.setPC(cs, idx)
 			rs.run.Spawns++
 			rs.lastProg = rs.now
+			if rs.tr != nil {
+				rs.tr.Wake(rs.now, cs.id, seq)
+			}
 			rs.charge(cs.id, stats.SyncCallRet)
 			return true, 0, nil
 		}
@@ -622,7 +666,7 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 	}
 	// RECV retries until its message arrives: the receive-queue stall.
 	if in.Op == isa.RECV {
-		v, ok := rs.queue.Recv(cs.id, in.Core, rs.now)
+		v, seq, ok := rs.queue.Recv(cs.id, in.Core, rs.now)
 		if !ok {
 			if in.Dst.Class == isa.RegPR {
 				rs.charge(cs.id, stats.RecvPred)
@@ -632,6 +676,9 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 			return false, rs.queue.NextRecvAt(cs.id, in.Core), nil
 		}
 		cs.set(in.Dst, v, rs.now+1)
+		if rs.tr != nil {
+			rs.tr.Recv(rs.now, cs.id, in.Core, seq)
+		}
 		rs.charge(cs.id, stats.Busy)
 		rs.setPC(cs, cs.pc+1)
 		rs.lastProg = rs.now
@@ -641,8 +688,8 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 	if err := rs.execInst(cs, in, false); err != nil {
 		return false, 0, err
 	}
-	if rs.trace {
-		rs.traceIssue(cs, in)
+	if rs.tr != nil {
+		rs.tr.Issue(rs.now, cs.id, cs.pc, in)
 	}
 	rs.charge(cs.id, stats.Busy)
 	rs.lastProg = rs.now
@@ -651,6 +698,9 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 		cs.done = true
 	case in.Op == isa.SLEEP:
 		cs.awake = false
+		if rs.tr != nil {
+			rs.tr.Sleep(rs.now, cs.id)
+		}
 	case cs.issuedBranch && cs.branchTaken:
 		idx, ok := cr.lookupLabel(cs.id, int64(cs.get(in.Src1)))
 		if !ok {
@@ -670,24 +720,24 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 func (rs *runState) skipDecoupled(cs *coreState, from, to int64) {
 	n := to - from
 	if cs.done || !cs.awake || cs.txwait {
-		rs.chargeN(cs.id, stats.SyncCallRet, n)
+		rs.chargeSpan(cs.id, stats.SyncCallRet, from, to)
 		return
 	}
 	if from < cs.stallUntil || from < cs.fetchUntil {
 		s := clamp(cs.stallUntil, from, to)
-		rs.chargeN(cs.id, cs.stallKind, s-from)
-		rs.chargeN(cs.id, stats.IStall, clamp(cs.fetchUntil, s, to)-s)
+		rs.chargeSpan(cs.id, cs.stallKind, from, s)
+		rs.chargeSpan(cs.id, stats.IStall, s, clamp(cs.fetchUntil, s, to))
 		return
 	}
 	in := &rs.cr.Code[cs.id][cs.pc]
 	switch in.Op {
 	case isa.SEND, isa.SPAWN, isa.BCAST:
-		rs.chargeN(cs.id, stats.SendStall, n)
+		rs.chargeSpan(cs.id, stats.SendStall, from, to)
 	case isa.RECV:
 		if in.Dst.Class == isa.RegPR {
-			rs.chargeN(cs.id, stats.RecvPred, n)
+			rs.chargeSpan(cs.id, stats.RecvPred, from, to)
 		} else {
-			rs.chargeN(cs.id, stats.RecvData, n)
+			rs.chargeSpan(cs.id, stats.RecvData, from, to)
 		}
 		// The per-cycle loop would have polled the receive queue once per
 		// skipped cycle; keep the poll counter identical.
@@ -701,6 +751,13 @@ func (rs *runState) skipDecoupled(cs *coreState, from, to int64) {
 // (the fallback re-materializes everything), matching the paper's
 // compiler-managed register rollback.
 func (rs *runState) runFallback() error {
+	if rs.tr != nil {
+		for _, cs := range rs.cores {
+			if cs.txactive {
+				rs.tr.TxAbort(rs.now, cs.id)
+			}
+		}
+	}
 	rs.sys.TM.AbortAll(rs.sys.Flat)
 	cr := rs.cr
 	cs := &coreState{id: 0, awake: true}
@@ -722,11 +779,11 @@ func (rs *runState) runFallback() error {
 				to = rs.now + 1
 			}
 			for i := 1; i < len(rs.cores); i++ {
-				rs.chargeN(i, stats.TMRollback, to-rs.now)
+				rs.chargeSpan(i, stats.TMRollback, rs.now, to)
 			}
 			s := clamp(cs.stallUntil, rs.now, to)
-			rs.chargeN(0, cs.stallKind, s-rs.now)
-			rs.chargeN(0, stats.IStall, to-s)
+			rs.chargeSpan(0, cs.stallKind, rs.now, s)
+			rs.chargeSpan(0, stats.IStall, s, to)
 			rs.now = to
 			if rs.ref {
 				if err := rs.watchdog(); err != nil {
@@ -929,6 +986,9 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 		if err != nil {
 			return err
 		}
+		if rs.tr != nil {
+			rs.tr.Get(rs.now, cs.id, in.Dir)
+		}
 		cs.set(in.Dst, v, rs.now+1)
 	case isa.PUT:
 		// Handled in phase A of the coupled loop; reaching here means a
@@ -938,7 +998,10 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 		if coupled {
 			return fmt.Errorf("core %d: SEND in coupled mode", cs.id)
 		}
-		rs.queue.Send(cs.id, in.Core, cs.get(in.Src1), rs.now)
+		seq, arrive := rs.queue.Send(cs.id, in.Core, cs.get(in.Src1), rs.now)
+		if rs.tr != nil {
+			rs.tr.Send(rs.now, cs.id, int(in.Core), seq, arrive)
+		}
 	case isa.BCAST:
 		if coupled {
 			return nil // phase A already drove the wires
@@ -947,14 +1010,20 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 		// here sends to every other core.
 		for c := 0; c < rs.m.cfg.Cores; c++ {
 			if c != cs.id {
-				rs.queue.Send(cs.id, c, cs.get(in.Src1), rs.now)
+				seq, arrive := rs.queue.Send(cs.id, c, cs.get(in.Src1), rs.now)
+				if rs.tr != nil {
+					rs.tr.Send(rs.now, cs.id, c, seq, arrive)
+				}
 			}
 		}
 	case isa.SPAWN:
 		if coupled {
 			return fmt.Errorf("core %d: SPAWN in coupled mode", cs.id)
 		}
-		rs.queue.SendSpawn(cs.id, in.Core, uint64(in.Imm), rs.now)
+		seq, arrive := rs.queue.SendSpawn(cs.id, in.Core, uint64(in.Imm), rs.now)
+		if rs.tr != nil {
+			rs.tr.Spawn(rs.now, cs.id, int(in.Core), seq, arrive)
+		}
 	case isa.SLEEP:
 		if coupled {
 			return fmt.Errorf("core %d: SLEEP in coupled mode", cs.id)
@@ -963,6 +1032,9 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 	case isa.TXBEGIN:
 		rs.sys.TM.Begin(cs.id, int(in.Imm))
 		cs.txactive = true
+		if rs.tr != nil {
+			rs.tr.TxBegin(rs.now, cs.id, int64(in.Imm))
+		}
 	case isa.TXCOMMIT:
 		if !cs.txactive {
 			return fmt.Errorf("core %d: TXCOMMIT without TXBEGIN", cs.id)

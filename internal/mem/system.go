@@ -1,5 +1,7 @@
 package mem
 
+import "voltron/internal/trace"
+
 // The memory system: per-core private L1 I and D caches kept coherent by a
 // bus-based snooping MOESI protocol, over a shared banked L2 and main
 // memory — the organization the paper evaluates (§5.1). The model is
@@ -58,6 +60,10 @@ type System struct {
 	Cfg  Config
 	Flat *Flat
 	TM   *TM
+	// Tracer, when non-nil, receives one typed event per L1 miss (read,
+	// write, fetch) with the fill window. Nil tracing costs one branch per
+	// miss — never one per access.
+	Tracer *trace.Tracer
 
 	l1d []*cache
 	l1i []*cache
@@ -187,6 +193,9 @@ func (s *System) Read(core int, addr, now int64) (val uint64, doneAt int64) {
 		fillState = exclusive
 	}
 	s.fillL1D(core, addr, fillState)
+	if s.Tracer != nil {
+		s.Tracer.CacheMiss(now, core, trace.MissL1DRead, addr, t+c.cfg.HitLat-now)
+	}
 	return val, t + c.cfg.HitLat
 }
 
@@ -246,6 +255,9 @@ func (s *System) Write(core int, addr, now int64, val uint64) (doneAt int64) {
 		t = s.l2Access(addr, t)
 	}
 	s.fillL1D(core, addr, modified)
+	if s.Tracer != nil {
+		s.Tracer.CacheMiss(now, core, trace.MissL1DWrite, addr, t+c.cfg.HitLat-now)
+	}
 	return t + c.cfg.HitLat
 }
 
@@ -282,6 +294,9 @@ func (s *System) Fetch(core int, addr, now int64) (doneAt int64) {
 	s.St.L1IMisses[core]++
 	t := s.l2Access(addr, now)
 	c.fill(addr, shared)
+	if s.Tracer != nil {
+		s.Tracer.CacheMiss(now, core, trace.MissL1I, addr, t+c.cfg.HitLat-now)
+	}
 	return t + c.cfg.HitLat
 }
 

@@ -107,3 +107,50 @@ func (c *cache) len() int {
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
+
+// blobStore is a bounded LRU of immutable rendered blobs (trace JSON),
+// keyed by job content address. Unlike cache it has no singleflight: blobs
+// are stored as a side effect of a job computing, never computed on read.
+type blobStore struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     list.List // of blobEntry, front = most recently used
+}
+
+type blobEntry struct {
+	key string
+	val []byte
+}
+
+func newBlobStore(max int) *blobStore {
+	return &blobStore{max: max, entries: map[string]*list.Element{}}
+}
+
+// put stores a blob (overwriting any previous value for key).
+func (b *blobStore) put(key string, val []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.entries[key]; ok {
+		el.Value.(*blobEntry).val = val
+		b.lru.MoveToFront(el)
+		return
+	}
+	b.entries[key] = b.lru.PushFront(&blobEntry{key: key, val: val})
+	for b.lru.Len() > b.max {
+		old := b.lru.Remove(b.lru.Back()).(*blobEntry)
+		delete(b.entries, old.key)
+	}
+}
+
+// get returns the blob for key, if still resident.
+func (b *blobStore) get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.entries[key]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(el)
+	return el.Value.(*blobEntry).val, true
+}

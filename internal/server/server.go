@@ -9,6 +9,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -16,6 +17,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"voltron/internal/compiler"
@@ -23,7 +25,9 @@ import (
 	"voltron/internal/exp"
 	"voltron/internal/ir"
 	"voltron/internal/prof"
+	"voltron/internal/spec"
 	"voltron/internal/stats"
+	"voltron/internal/trace"
 	"voltron/internal/workload"
 )
 
@@ -38,6 +42,10 @@ type Config struct {
 	// RequestTimeout bounds one job (queue wait + compile + simulate).
 	// Defaults to 2 minutes.
 	RequestTimeout time.Duration
+	// TraceEntries bounds the rendered-trace LRU (traces are much larger
+	// than job responses, so they get their own, smaller bound). Defaults
+	// to 32.
+	TraceEntries int
 	// Suite optionally shares an experiment suite (benchmark programs,
 	// profiles, and figure results). Defaults to a fresh one.
 	Suite *exp.Suite
@@ -47,11 +55,12 @@ type Config struct {
 // Handler, stop by shutting down the enclosing http.Server (jobs run
 // synchronously inside handlers, so draining handlers drains jobs).
 type Server struct {
-	cfg   Config
-	suite *exp.Suite
-	cache *cache
-	sem   chan struct{}
-	start time.Time
+	cfg    Config
+	suite  *exp.Suite
+	cache  *cache
+	traces *blobStore
+	sem    chan struct{}
+	start  time.Time
 
 	jobs        stats.Counter
 	simulations stats.Counter
@@ -76,6 +85,9 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Minute
 	}
+	if cfg.TraceEntries <= 0 {
+		cfg.TraceEntries = 32
+	}
 	if cfg.Suite == nil {
 		cfg.Suite = exp.NewSuite()
 		cfg.Suite.Workers = cfg.Workers
@@ -84,29 +96,34 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		suite:   cfg.Suite,
 		cache:   newCache(cfg.CacheEntries),
+		traces:  newBlobStore(cfg.TraceEntries),
 		sem:     make(chan struct{}, cfg.Workers),
 		start:   time.Now(),
 		latency: map[string]*stats.Histogram{},
 	}
-	for name := range strategies {
-		s.latency[name] = &stats.Histogram{}
+	for _, si := range spec.Strategies() {
+		s.latency[si.Name] = &stats.Histogram{}
 	}
 	return s
 }
 
 // Handler returns the server's HTTP API:
 //
-//	GET  /healthz        — liveness
-//	GET  /metrics        — service counters and latency histograms (JSON)
-//	GET  /v1/benchmarks  — built-in benchmark names
-//	POST /v1/jobs        — run one compile-and-simulate job
-//	GET  /v1/figures/{n} — regenerate one paper figure (3, 10-14)
+//	GET  /healthz          — liveness
+//	GET  /metrics          — service counters and latency histograms (JSON)
+//	GET  /v1/benchmarks    — built-in benchmark names
+//	GET  /v1/strategies    — parallelization strategies with metadata
+//	POST /v1/jobs          — run one compile-and-simulate job
+//	GET  /v1/traces/{key}  — Chrome trace JSON of a traced job
+//	GET  /v1/figures/{n}   — regenerate one paper figure (3, 10-14)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/traces/{key}", s.handleTrace)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	return mux
 }
@@ -117,6 +134,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.Names()})
+}
+
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"strategies": spec.Strategies()})
+}
+
+// handleTrace serves the Chrome trace JSON of a previously traced job.
+// Traces live in a bounded LRU: a trace evicted (or served by another
+// replica) returns 404 with a hint to re-run the job.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := s.traces.get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (evicted or never produced; re-POST the job with \"trace\": true)", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 // MetricsSnapshot is the /metrics response.
@@ -166,23 +202,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // JobResponse is the /v1/jobs response body. It is rendered once per cache
 // key, so identical requests receive byte-identical bodies.
 type JobResponse struct {
-	Key          string           `json:"key"`
-	Bench        string           `json:"bench,omitempty"`
-	Program      string           `json:"program,omitempty"`
-	Strategy     string           `json:"strategy"`
-	Cores        int              `json:"cores"`
-	TotalCycles  int64            `json:"total_cycles"`
-	RegionCycles []int64          `json:"region_cycles"`
-	ModeCoupled  float64          `json:"mode_coupled"`
-	ModeDecoupl  float64          `json:"mode_decoupled"`
-	Spawns       int64            `json:"spawns"`
-	TMConflicts  int64            `json:"tm_conflicts"`
-	Stalls       map[string]int64 `json:"stalls"`
-	Mem          MemStats         `json:"mem"`
+	// SchemaVersion identifies the response shape (spec.SchemaVersion).
+	SchemaVersion int              `json:"schema_version"`
+	Key           string           `json:"key"`
+	Bench         string           `json:"bench,omitempty"`
+	Program       string           `json:"program,omitempty"`
+	Strategy      string           `json:"strategy"`
+	Cores         int              `json:"cores"`
+	TotalCycles   int64            `json:"total_cycles"`
+	RegionCycles  []int64          `json:"region_cycles"`
+	ModeCoupled   float64          `json:"mode_coupled"`
+	ModeDecoupl   float64          `json:"mode_decoupled"`
+	Spawns        int64            `json:"spawns"`
+	TMConflicts   int64            `json:"tm_conflicts"`
+	Stalls        map[string]int64 `json:"stalls"`
+	Mem           MemStats         `json:"mem"`
 	// BaselineCycles and Speedup are present when the request asked for a
 	// baseline comparison.
 	BaselineCycles int64   `json:"baseline_cycles,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
+	// TraceURL and StallReport are present when the request asked for a
+	// trace: the URL serves the run's Chrome trace JSON (Perfetto-loadable),
+	// the report is the stall-attribution breakdown of the same run.
+	TraceURL    string        `json:"trace_url,omitempty"`
+	StallReport *trace.Report `json:"stall_report,omitempty"`
 }
 
 // MemStats is the memory-system slice of the response.
@@ -195,14 +238,15 @@ type MemStats struct {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	req, deprecated, err := spec.DecodeJob(r.Body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if err := req.normalize(func(b string) bool {
+	if len(deprecated) > 0 {
+		w.Header().Set("X-Voltron-Deprecated", strings.Join(deprecated, ", "))
+	}
+	if err := req.Normalize(func(b string) bool {
 		_, err := s.suite.Program(b)
 		return err == nil
 	}); err != nil {
@@ -214,7 +258,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	startedAt := time.Now()
-	body, status, err := s.jobBody(ctx, &req)
+	body, status, err := s.jobBody(ctx, req)
 	switch status {
 	case cacheHit:
 		s.hits.Inc()
@@ -249,7 +293,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // jobBody resolves one normalized job to its rendered response body via
 // the content-addressed cache.
 func (s *Server) jobBody(ctx context.Context, req *JobRequest) ([]byte, cacheStatus, error) {
-	key := req.key()
+	key := req.Key()
 	return s.cache.get(ctx, key, func() ([]byte, error) {
 		resp, err := s.runJob(ctx, req, key)
 		if err != nil {
@@ -262,22 +306,23 @@ func (s *Server) jobBody(ctx context.Context, req *JobRequest) ([]byte, cacheSta
 // runJob executes one normalized job (and, when asked, its serial
 // baseline) and assembles the response.
 func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, error) {
-	res, err := s.simulate(ctx, req)
+	res, tr, err := s.simulate(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	resp := &JobResponse{
-		Key:          key,
-		Bench:        req.Bench,
-		Strategy:     req.Strategy,
-		Cores:        req.Cores,
-		TotalCycles:  res.TotalCycles,
-		RegionCycles: res.RegionCycles,
-		ModeCoupled:  res.ModeFraction(stats.ModeCoupled),
-		ModeDecoupl:  res.ModeFraction(stats.ModeDecoupled),
-		Spawns:       res.Spawns,
-		TMConflicts:  res.TMConflicts,
-		Stalls:       map[string]int64{},
+		SchemaVersion: spec.SchemaVersion,
+		Key:           key,
+		Bench:         req.Bench,
+		Strategy:      req.Strategy,
+		Cores:         req.Cores,
+		TotalCycles:   res.TotalCycles,
+		RegionCycles:  res.RegionCycles,
+		ModeCoupled:   res.ModeFraction(stats.ModeCoupled),
+		ModeDecoupl:   res.ModeFraction(stats.ModeDecoupled),
+		Spawns:        res.Spawns,
+		TMConflicts:   res.TMConflicts,
+		Stalls:        map[string]int64{},
 		Mem: MemStats{
 			L2Hits:        res.MemStats.L2Hits,
 			L2Misses:      res.MemStats.L2Misses,
@@ -294,12 +339,27 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 			resp.Stalls[k.String()] = n
 		}
 	}
+	if tr != nil {
+		// The rendered trace is stored out of band (it dwarfs the response)
+		// and served by its job key; the response carries the URL and the
+		// aggregated stall report. Rendering happens inside the singleflight
+		// computation, so concurrent identical traced jobs render once.
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			return nil, fmt.Errorf("rendering trace: %w", err)
+		}
+		s.traces.put(key, buf.Bytes())
+		resp.TraceURL = "/v1/traces/" + key
+		resp.StallReport = tr.Report()
+	}
 	if req.Baseline && !(req.Strategy == "serial" && req.Cores == 1) {
 		// The baseline is itself a first-class job routed through the
 		// content cache, so it is simulated once no matter how many jobs
 		// compare against it (and a later direct serial request hits it).
+		// It never inherits the trace flag: the caller asked to see this
+		// job's timeline, not the baseline's.
 		base := *req
-		base.Strategy, base.Cores, base.Baseline = "serial", 1, false
+		base.Strategy, base.Cores, base.Baseline, base.Trace = "serial", 1, false, false
 		body, _, err := s.jobBody(ctx, &base)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: %w", err)
@@ -318,8 +378,9 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 
 // simulate compiles and runs one normalized job under a worker-pool slot.
 // The slot is bounded by Config.Workers; waiting for it respects ctx, so a
-// canceled request never occupies (or leaks) a slot.
-func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, error) {
+// canceled request never occupies (or leaks) a slot. When the request asks
+// for a trace, the returned tracer holds the run's event stream.
+func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, *trace.Tracer, error) {
 	var (
 		p   *ir.Program
 		pr  *prof.Profile
@@ -327,13 +388,13 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 	)
 	if req.Bench != "" {
 		if p, err = s.suite.Program(req.Bench); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if pr, err = s.suite.Profile(req.Bench); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else if p, err = req.Program.Build(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.queueDepth.Add(1)
 	select {
@@ -341,23 +402,31 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 		s.queueDepth.Add(-1)
 	case <-ctx.Done():
 		s.queueDepth.Add(-1)
-		return nil, fmt.Errorf("waiting for a worker slot: %w", ctx.Err())
+		return nil, nil, fmt.Errorf("waiting for a worker slot: %w", ctx.Err())
 	}
 	defer func() { <-s.sem }()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	s.simulations.Inc()
 
-	opts := req.compilerOptions()
+	opts := req.CompilerOpts()
 	opts.Profile = pr // nil for inline programs: the compiler profiles them
 	cp, err := compiler.Compile(p, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil { // compile finished after cancellation
-		return nil, err
+		return nil, nil, err
 	}
-	return core.New(req.machineConfig()).RunContext(ctx, cp)
+	var tr *trace.Tracer
+	if req.Trace {
+		tr = trace.New()
+	}
+	res, err := core.New(req.MachineConfig(tr)).RunContext(ctx, cp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
 }
 
 // handleFigure regenerates one paper figure through the shared suite. The

@@ -1,0 +1,409 @@
+// Package spec defines the shared job specification of the v1 API surface:
+// what a compile-and-simulate job is (benchmark or inline program ×
+// strategy × machine), how it normalizes to a canonical form, and how that
+// form content-addresses results. The HTTP service decodes request bodies
+// into it and the CLIs build their flag sets from the same defaults, so
+// "strategy", "cores" and friends mean exactly the same thing on every
+// surface.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/ir"
+	"voltron/internal/trace"
+	"voltron/internal/workload"
+)
+
+// SchemaVersion is the version stamped into v1 job responses. It increments
+// only on breaking changes to the response shape; additive fields do not
+// bump it.
+const SchemaVersion = 1
+
+// Shared defaults across the CLIs and the service.
+const (
+	DefaultStrategy = "hybrid"
+	DefaultCores    = 4
+	// MaxCores bounds the machine width of one job.
+	MaxCores = 16
+)
+
+// JobRequest describes one compile-and-simulate job: a program (by
+// benchmark name or inline spec), a parallelization strategy, a machine,
+// and optional compiler/machine overrides. The zero value of every
+// optional field means "the paper's default".
+type JobRequest struct {
+	// Bench names a built-in benchmark (see GET /v1/benchmarks).
+	// Exactly one of Bench and Program must be set.
+	Bench string `json:"bench,omitempty"`
+	// Program is an inline program: a named composition of the workload
+	// package's kernel generators.
+	Program *ProgramSpec `json:"program,omitempty"`
+	// Strategy is serial|ilp|ftlp|llp|hybrid. Defaults to hybrid.
+	Strategy string `json:"strategy,omitempty"`
+	// Cores is the machine width. Defaults to 4.
+	Cores int `json:"cores,omitempty"`
+	// Baseline additionally simulates the serial single-core baseline and
+	// reports the speedup over it.
+	Baseline bool `json:"baseline,omitempty"`
+	// Trace collects the structured timeline of the run; the response then
+	// carries a trace URL and the stall-attribution report. Traced and
+	// untraced runs of the same job are distinct cache entries (the flag is
+	// part of the content address).
+	Trace    bool            `json:"trace,omitempty"`
+	Compiler CompilerOptions `json:"compiler,omitempty"`
+	Machine  MachineOptions  `json:"machine,omitempty"`
+}
+
+// CompilerOptions exposes the compiler's threshold gates and ablation
+// switches. Zero thresholds mean the paper defaults; negative disables the
+// gate (compiler.NoThreshold).
+type CompilerOptions struct {
+	DSWPThreshold      float64 `json:"dswp_threshold,omitempty"`
+	DOALLTripThreshold float64 `json:"doall_trip_threshold,omitempty"`
+	MissStallThreshold float64 `json:"miss_stall_threshold,omitempty"`
+	DisableEBUGWeights bool    `json:"disable_ebug_weights,omitempty"`
+	ForcePredSend      bool    `json:"force_pred_send,omitempty"`
+	StaticSelection    bool    `json:"static_selection,omitempty"`
+}
+
+// MachineOptions overrides core.DefaultConfig. Zero means the default.
+type MachineOptions struct {
+	RegionSyncLat int64 `json:"region_sync_lat,omitempty"`
+	ModeSwitchLat int64 `json:"mode_switch_lat,omitempty"`
+	QueueBaseLat  int64 `json:"queue_base_lat,omitempty"`
+	QueueHopLat   int64 `json:"queue_hop_lat,omitempty"`
+	QueueCap      int   `json:"queue_cap,omitempty"`
+}
+
+// ProgramSpec is an inline program.
+type ProgramSpec struct {
+	Name    string       `json:"name"`
+	Kernels []KernelSpec `json:"kernels"`
+}
+
+// KernelSpec is one region-generating kernel invocation. Unused parameters
+// for a kind must be zero; zero used parameters take that kind's default.
+type KernelSpec struct {
+	// Kind is one of doall-map, doall-mapf, doall-reduce, strands,
+	// multichase, pipeline, ilp-loop, ilp-butterfly, serial-chain, branchy.
+	Kind string `json:"kind"`
+	// Name prefixes the kernel's regions and arrays.
+	Name    string `json:"name"`
+	N       int64  `json:"n,omitempty"`       // element / trip count
+	Work    int    `json:"work,omitempty"`    // per-element work factor
+	Chains  int    `json:"chains,omitempty"`  // multichase / ilp-loop chains
+	Depth   int    `json:"depth,omitempty"`   // ilp-loop chain depth
+	Table   int64  `json:"table,omitempty"`   // pointer-table words
+	Steps   int64  `json:"steps,omitempty"`   // multichase steps
+	Lanes   int    `json:"lanes,omitempty"`   // ilp-butterfly lanes
+	Levels  int    `json:"levels,omitempty"`  // ilp-butterfly levels
+	Diverge int64  `json:"diverge,omitempty"` // strands divergence point
+}
+
+// Job size bounds: the service simulates whatever it is asked to, so inline
+// specs are capped to keep a single job's cost within the request timeout.
+const (
+	maxKernels   = 8
+	maxElems     = 1 << 16
+	maxWorkParam = 64
+)
+
+// kernelKinds maps a spec kind to its defaults-filling normalizer and its
+// generator. Normalization happens before hashing so that spelled-out
+// defaults and omitted defaults are the same cache entry.
+var kernelKinds = map[string]struct {
+	norm func(*KernelSpec)
+	gen  func(*ir.Program, KernelSpec)
+}{
+	"doall-map": {
+		func(k *KernelSpec) { defInt64(&k.N, 256); defInt(&k.Work, 4) },
+		func(p *ir.Program, k KernelSpec) { workload.DoallMap(p, k.Name, k.N, k.Work) },
+	},
+	"doall-mapf": {
+		func(k *KernelSpec) { defInt64(&k.N, 256); defInt(&k.Work, 4) },
+		func(p *ir.Program, k KernelSpec) { workload.DoallMapF(p, k.Name, k.N, k.Work) },
+	},
+	"doall-reduce": {
+		func(k *KernelSpec) { defInt64(&k.N, 256) },
+		func(p *ir.Program, k KernelSpec) { workload.DoallReduce(p, k.Name, k.N) },
+	},
+	"strands": {
+		func(k *KernelSpec) { defInt64(&k.N, 512); defInt64(&k.Diverge, 400) },
+		func(p *ir.Program, k KernelSpec) { workload.Strands(p, k.Name, k.N, k.Diverge) },
+	},
+	"multichase": {
+		func(k *KernelSpec) { defInt(&k.Chains, 3); defInt64(&k.Table, 1024); defInt64(&k.Steps, 128) },
+		func(p *ir.Program, k KernelSpec) { workload.MultiChase(p, k.Name, k.Chains, k.Table, k.Steps) },
+	},
+	"pipeline": {
+		func(k *KernelSpec) { defInt64(&k.Table, 1024); defInt64(&k.N, 128); defInt(&k.Work, 4) },
+		func(p *ir.Program, k KernelSpec) { workload.Pipeline(p, k.Name, k.Table, k.N, k.Work) },
+	},
+	"ilp-loop": {
+		func(k *KernelSpec) { defInt64(&k.N, 64); defInt(&k.Chains, 4); defInt(&k.Depth, 4) },
+		func(p *ir.Program, k KernelSpec) { workload.IlpLoop(p, k.Name, k.N, k.Chains, k.Depth) },
+	},
+	"ilp-butterfly": {
+		func(k *KernelSpec) { defInt64(&k.N, 48); defInt(&k.Lanes, 8); defInt(&k.Levels, 4) },
+		func(p *ir.Program, k KernelSpec) { workload.IlpButterfly(p, k.Name, k.N, k.Lanes, k.Levels) },
+	},
+	"serial-chain": {
+		func(k *KernelSpec) { defInt64(&k.N, 64) },
+		func(p *ir.Program, k KernelSpec) { workload.SerialChain(p, k.Name, k.N) },
+	},
+	"branchy": {
+		func(k *KernelSpec) { defInt64(&k.N, 256) },
+		func(p *ir.Program, k KernelSpec) { workload.Branchy(p, k.Name, k.N) },
+	},
+}
+
+func defInt64(v *int64, def int64) {
+	if *v == 0 {
+		*v = def
+	}
+}
+
+func defInt(v *int, def int) {
+	if *v == 0 {
+		*v = def
+	}
+}
+
+// Normalize validates the request and fills every defaultable field in
+// place, so that two requests meaning the same job marshal to the same
+// canonical bytes. known reports whether a benchmark name exists.
+func (r *JobRequest) Normalize(known func(bench string) bool) error {
+	if (r.Bench == "") == (r.Program == nil) {
+		return fmt.Errorf("exactly one of bench and program must be set")
+	}
+	if r.Bench != "" && !known(r.Bench) {
+		return fmt.Errorf("unknown benchmark %q", r.Bench)
+	}
+	if r.Program != nil {
+		if err := r.Program.normalize(); err != nil {
+			return err
+		}
+	}
+	if r.Strategy == "" {
+		r.Strategy = DefaultStrategy
+	}
+	if _, ok := StrategyFor(r.Strategy); !ok {
+		return fmt.Errorf("unknown strategy %q (want %s)", r.Strategy, strategyNames())
+	}
+	if r.Cores == 0 {
+		r.Cores = DefaultCores
+	}
+	if r.Cores < 1 || r.Cores > MaxCores {
+		return fmt.Errorf("cores = %d out of range [1, %d]", r.Cores, MaxCores)
+	}
+	return nil
+}
+
+func (p *ProgramSpec) normalize() error {
+	if p.Name == "" {
+		p.Name = "inline"
+	}
+	if len(p.Name) > 64 {
+		return fmt.Errorf("program name must be at most 64 characters")
+	}
+	if len(p.Kernels) == 0 || len(p.Kernels) > maxKernels {
+		return fmt.Errorf("program must have 1..%d kernels", maxKernels)
+	}
+	names := map[string]bool{}
+	for i := range p.Kernels {
+		k := &p.Kernels[i]
+		kind, ok := kernelKinds[k.Kind]
+		if !ok {
+			return fmt.Errorf("kernel %d: unknown kind %q", i, k.Kind)
+		}
+		if k.Name == "" {
+			k.Name = fmt.Sprintf("k%d", i)
+		}
+		if len(k.Name) > 64 {
+			return fmt.Errorf("kernel %d: name must be at most 64 characters", i)
+		}
+		if names[k.Name] {
+			return fmt.Errorf("kernel %d: duplicate name %q", i, k.Name)
+		}
+		names[k.Name] = true
+		kind.norm(k)
+		for _, v := range []int64{k.N, k.Table, k.Steps, k.Diverge} {
+			if v < 0 || v > maxElems {
+				return fmt.Errorf("kernel %q: size parameter %d out of range [0, %d]", k.Name, v, maxElems)
+			}
+		}
+		for _, v := range []int{k.Work, k.Chains, k.Depth, k.Lanes, k.Levels} {
+			if v < 0 || v > maxWorkParam {
+				return fmt.Errorf("kernel %q: work parameter %d out of range [0, %d]", k.Name, v, maxWorkParam)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materializes the (normalized) spec as an IR program.
+func (p *ProgramSpec) Build() (*ir.Program, error) {
+	prog := ir.NewProgram(p.Name)
+	for _, k := range p.Kernels {
+		kernelKinds[k.Kind].gen(prog, k)
+	}
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("program %q: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+// Key derives the job's content address: the SHA-256 of its canonical JSON
+// encoding (normalized spec, so every defaultable field is explicit).
+// Fields that cannot change the result (worker counts, timeouts) are not
+// part of the request and so never fragment the cache.
+func (r *JobRequest) Key() string {
+	b, err := json.Marshal(r)
+	if err != nil { // canonical structs always marshal
+		panic(fmt.Sprintf("canonical job marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// CompilerOpts lowers the request to compiler.Options (Workers is the
+// caller's choice, not the request's: it cannot affect results).
+func (r *JobRequest) CompilerOpts() compiler.Options {
+	s, _ := StrategyFor(r.Strategy)
+	return compiler.Options{
+		Cores:              r.Cores,
+		Strategy:           s,
+		DSWPThreshold:      r.Compiler.DSWPThreshold,
+		DOALLTripThreshold: r.Compiler.DOALLTripThreshold,
+		MissStallThreshold: r.Compiler.MissStallThreshold,
+		DisableEBUGWeights: r.Compiler.DisableEBUGWeights,
+		ForcePredSend:      r.Compiler.ForcePredSend,
+		StaticSelection:    r.Compiler.StaticSelection,
+		Workers:            1,
+	}
+}
+
+// MachineConfig lowers the request to a core.Config. The tracer, when
+// non-nil, is attached to the machine.
+func (r *JobRequest) MachineConfig(tr *trace.Tracer) core.Config {
+	cfg := core.DefaultConfig(r.Cores)
+	if r.Machine.RegionSyncLat > 0 {
+		cfg.RegionSyncLat = r.Machine.RegionSyncLat
+	}
+	if r.Machine.ModeSwitchLat > 0 {
+		cfg.ModeSwitchLat = r.Machine.ModeSwitchLat
+	}
+	cfg.QueueBaseLat = r.Machine.QueueBaseLat
+	cfg.QueueHopLat = r.Machine.QueueHopLat
+	cfg.QueueCap = r.Machine.QueueCap
+	cfg.Tracer = tr
+	return cfg
+}
+
+// jobAliases accepts the v1 wire form plus deprecated field aliases from
+// the pre-v1 surface. Alias fields fill their successors only when the
+// canonical field is absent.
+type jobAliases struct {
+	JobRequest
+	// Benchmark is the deprecated alias of "bench".
+	Benchmark string `json:"benchmark,omitempty"`
+	// Mode is the deprecated alias of "strategy".
+	Mode string `json:"mode,omitempty"`
+}
+
+// DecodeJob decodes one JSON job request, accepting (but flagging) the
+// deprecated field aliases "benchmark" (for "bench") and "mode" (for
+// "strategy"). Unknown fields are rejected. The returned slice names the
+// deprecated fields the request used, for a deprecation response header.
+func DecodeJob(r io.Reader) (*JobRequest, []string, error) {
+	var in jobAliases
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, nil, err
+	}
+	var deprecated []string
+	if in.Benchmark != "" {
+		deprecated = append(deprecated, "benchmark")
+		if in.Bench == "" {
+			in.Bench = in.Benchmark
+		}
+	}
+	if in.Mode != "" {
+		deprecated = append(deprecated, "mode")
+		if in.Strategy == "" {
+			in.Strategy = in.Mode
+		}
+	}
+	req := in.JobRequest
+	return &req, deprecated, nil
+}
+
+// StrategyInfo describes one parallelization strategy of the v1 surface.
+type StrategyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Mode is the execution mode the strategy's regions run in: coupled,
+	// decoupled, or mixed (per-region selection).
+	Mode string `json:"mode"`
+}
+
+// strategyTable orders the strategies as documented (serial first, hybrid
+// last); lookups go through the derived map.
+var strategyTable = []struct {
+	info StrategyInfo
+	s    compiler.Strategy
+}{
+	{StrategyInfo{"serial", "single-core serial schedule (the speedup baseline)", "coupled"}, compiler.Serial},
+	{StrategyInfo{"ilp", "force coupled ILP: VLIW-style scheduling across cores in lock-step", "coupled"}, compiler.ForceILP},
+	{StrategyInfo{"ftlp", "force fine-grain TLP: DSWP pipelines over the decoupled queues", "decoupled"}, compiler.ForceFTLP},
+	{StrategyInfo{"llp", "force loop-level parallelism: DOALL chunks under transactional memory", "decoupled"}, compiler.ForceLLP},
+	{StrategyInfo{"hybrid", "per-region measured selection among the above (the paper's result)", "mixed"}, compiler.Hybrid},
+}
+
+// Strategies lists the v1 strategies in documentation order.
+func Strategies() []StrategyInfo {
+	out := make([]StrategyInfo, len(strategyTable))
+	for i, e := range strategyTable {
+		out[i] = e.info
+	}
+	return out
+}
+
+// StrategyFor resolves a strategy name.
+func StrategyFor(name string) (compiler.Strategy, bool) {
+	for _, e := range strategyTable {
+		if e.info.Name == name {
+			return e.s, true
+		}
+	}
+	return 0, false
+}
+
+// strategyNames renders the strategy set for usage and error text.
+func strategyNames() string {
+	names := make([]string, len(strategyTable))
+	for i, e := range strategyTable {
+		names[i] = e.info.Name
+	}
+	return strings.Join(names, "|")
+}
+
+// StrategyFlag binds the shared -strategy flag.
+func StrategyFlag(fs *flag.FlagSet) *string {
+	return fs.String("strategy", DefaultStrategy, strategyNames())
+}
+
+// CoresFlag binds the shared -cores flag.
+func CoresFlag(fs *flag.FlagSet) *int {
+	return fs.Int("cores", DefaultCores, fmt.Sprintf("number of cores (1..%d)", MaxCores))
+}

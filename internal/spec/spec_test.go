@@ -1,0 +1,68 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobAliases(t *testing.T) {
+	for _, tc := range []struct {
+		name, body              string
+		wantBench, wantStrategy string
+		wantDeprecated          string
+	}{
+		{"canonical", `{"bench": "a", "strategy": "llp"}`, "a", "llp", ""},
+		{"aliases", `{"benchmark": "a", "mode": "llp"}`, "a", "llp", "benchmark,mode"},
+		{"canonical wins", `{"bench": "a", "benchmark": "b", "strategy": "llp", "mode": "ilp"}`, "a", "llp", "benchmark,mode"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, dep, err := DecodeJob(strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if req.Bench != tc.wantBench || req.Strategy != tc.wantStrategy {
+				t.Errorf("decoded bench=%q strategy=%q, want %q/%q", req.Bench, req.Strategy, tc.wantBench, tc.wantStrategy)
+			}
+			if got := strings.Join(dep, ","); got != tc.wantDeprecated {
+				t.Errorf("deprecated = %q, want %q", got, tc.wantDeprecated)
+			}
+		})
+	}
+	if _, _, err := DecodeJob(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Error("unknown field was accepted")
+	}
+}
+
+// TestKeySeparatesTrace: the trace flag is part of the content address, so
+// traced and untraced runs of one job never share a cache entry.
+func TestKeySeparatesTrace(t *testing.T) {
+	known := func(string) bool { return true }
+	a := &JobRequest{Bench: "x", Trace: false}
+	b := &JobRequest{Bench: "x", Trace: true}
+	for _, r := range []*JobRequest{a, b} {
+		if err := r.Normalize(known); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Key() == b.Key() {
+		t.Error("traced and untraced jobs share a key")
+	}
+}
+
+func TestStrategyTable(t *testing.T) {
+	infos := Strategies()
+	if len(infos) != 5 {
+		t.Fatalf("got %d strategies, want 5", len(infos))
+	}
+	if infos[0].Name != "serial" || infos[len(infos)-1].Name != "hybrid" {
+		t.Errorf("strategy order: %+v", infos)
+	}
+	for _, si := range infos {
+		if _, ok := StrategyFor(si.Name); !ok {
+			t.Errorf("StrategyFor(%q) missing", si.Name)
+		}
+	}
+	if _, ok := StrategyFor("nope"); ok {
+		t.Error("StrategyFor accepted an unknown name")
+	}
+}

@@ -28,6 +28,11 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of cycle kinds — the size of dense per-kind
+// accounting arrays kept outside this package (e.g. the tracer's per-region
+// attribution counters).
+const NumKinds = int(numKinds)
+
 // Kinds lists all kinds in display order.
 func Kinds() []Kind {
 	ks := make([]Kind, numKinds)

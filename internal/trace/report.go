@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"voltron/internal/stats"
+)
+
+// Report is the aggregated stall-attribution breakdown of one traced run:
+// where every accounted cycle went, by cause, per core and per region — the
+// paper's Figure-7-style cost decomposition, reproducible per run. Within a
+// region the per-kind cycles sum (across cores) to exactly what the stats
+// package reports for the same window, because both are charged at the same
+// sites in the simulator.
+type Report struct {
+	Cores   int            `json:"cores"`
+	Regions []RegionReport `json:"regions"`
+	// Totals sums cycles by cause across all regions and cores. Keys are
+	// stats.Kind names; encoding/json renders map keys sorted, so the
+	// serialized form is deterministic.
+	Totals map[string]int64 `json:"totals"`
+}
+
+// RegionReport is one region's attribution.
+type RegionReport struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// Start and End are the region's wall-clock cycle bounds.
+	Start int64 `json:"start_cycle"`
+	End   int64 `json:"end_cycle"`
+	// Cycles sums cycles by cause across the region's cores.
+	Cycles map[string]int64 `json:"cycles_by_cause"`
+	// PerCore breaks the same cycles down by core.
+	PerCore []CoreReport `json:"per_core"`
+}
+
+// CoreReport is one core's attribution within a region.
+type CoreReport struct {
+	Core   int              `json:"core"`
+	Cycles map[string]int64 `json:"cycles_by_cause"`
+}
+
+// Report aggregates the collected stream into the stall-attribution
+// breakdown.
+func (t *Tracer) Report() *Report {
+	r := &Report{Cores: t.cores, Totals: map[string]int64{}}
+	for _, reg := range t.regions {
+		rr := RegionReport{
+			Name: reg.name, Mode: reg.mode,
+			Start: reg.start, End: reg.end,
+			Cycles: map[string]int64{},
+		}
+		cores := len(reg.cycles) / stats.NumKinds
+		for c := 0; c < cores; c++ {
+			cr := CoreReport{Core: c, Cycles: map[string]int64{}}
+			for k := 0; k < stats.NumKinds; k++ {
+				n := reg.cycles[c*stats.NumKinds+k]
+				if n == 0 {
+					continue
+				}
+				name := stats.Kind(k).String()
+				cr.Cycles[name] = n
+				rr.Cycles[name] += n
+				r.Totals[name] += n
+			}
+			rr.PerCore = append(rr.PerCore, cr)
+		}
+		r.Regions = append(r.Regions, rr)
+	}
+	return r
+}
+
+// Total returns the report-wide cycles charged to one cause.
+func (r *Report) Total(k stats.Kind) int64 { return r.Totals[k.String()] }
+
+// WriteText renders the report as an aligned table: one row per region, one
+// column per cause that appears anywhere in the run, plus per-core rows
+// under each region.
+func (r *Report) WriteText(w io.Writer) error {
+	// Column set: causes present anywhere, in stats display order.
+	var cols []stats.Kind
+	for _, k := range stats.Kinds() {
+		if r.Totals[k.String()] > 0 {
+			cols = append(cols, k)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "stall attribution (%d cores, %d regions):\n", r.Cores, len(r.Regions)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %-9s %10s", "region", "mode", "cycles")
+	for _, k := range cols {
+		fmt.Fprintf(w, " %15s", k)
+	}
+	fmt.Fprintln(w)
+	row := func(label, mode string, span int64, cycles map[string]int64) {
+		fmt.Fprintf(w, "%-28s %-9s %10d", label, mode, span)
+		for _, k := range cols {
+			fmt.Fprintf(w, " %15d", cycles[k.String()])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, reg := range r.Regions {
+		row(reg.Name, reg.Mode, reg.End-reg.Start, reg.Cycles)
+		for _, cr := range reg.PerCore {
+			row(fmt.Sprintf("  core %d", cr.Core), "", 0, cr.Cycles)
+		}
+	}
+	total := map[string]int64{}
+	var sum int64
+	for name, n := range r.Totals {
+		total[name] = n
+		sum += n
+	}
+	row("TOTAL", "", sum, total)
+	return nil
+}

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteText renders the stream in the machine's legacy debugging format:
+// one line per issued instruction plus region transition headers, exactly
+// as the old core.Config.Trace io.Writer produced them. The format is a
+// renderer over the structured stream now — the simulator no longer
+// formats text on its hot path.
+func (t *Tracer) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch e.Kind {
+		case KindRegionBegin:
+			fmt.Fprintf(bw, "=== region %q mode=%s cycle=%d\n", e.Name, e.Detail, e.Cycle)
+		case KindIssue:
+			fmt.Fprintf(bw, "%8d c%d %4d  %v\n", e.Cycle, e.Core, e.Aux, e.Inst)
+		}
+	}
+	return bw.Flush()
+}

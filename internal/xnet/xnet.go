@@ -237,34 +237,44 @@ func (q *QueueNet) CanSend(from, to int) bool {
 }
 
 // Send enqueues a value from core `from` to core `to` at the given cycle.
-func (q *QueueNet) Send(from, to int, v uint64, cycle int64) {
+// It returns the message's sequence number and arrival cycle so callers that
+// trace message flow can bind the send to the matching receive; other
+// callers ignore the results.
+func (q *QueueNet) Send(from, to int, v uint64, cycle int64) (seq, arriveAt int64) {
 	q.seq++
 	hops := int64(q.T.Hops(from, to))
+	arriveAt = cycle + q.BaseLat + hops*q.HopLat
 	q.queues[to] = append(q.queues[to], message{
 		from: from, to: to, val: v,
-		readyAt: cycle + q.BaseLat + hops*q.HopLat,
+		readyAt: arriveAt,
 		seq:     q.seq,
 	})
 	q.counts[from*q.T.Cores()+to]++
 	q.Messages++
+	return q.seq, arriveAt
 }
 
-// SendSpawn enqueues a thread-start message carrying a code address.
-func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) {
+// SendSpawn enqueues a thread-start message carrying a code address. Like
+// Send it returns the message's sequence number and arrival cycle.
+func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) (seq, arriveAt int64) {
 	q.seq++
 	hops := int64(q.T.Hops(from, to))
+	arriveAt = cycle + q.BaseLat + hops*q.HopLat
 	q.queues[to] = append(q.queues[to], message{
 		from: from, to: to, val: addr, spawn: true,
-		readyAt: cycle + q.BaseLat + hops*q.HopLat,
+		readyAt: arriveAt,
 		seq:     q.seq,
 	})
 	q.counts[from*q.T.Cores()+to]++
 	q.Messages++
+	return q.seq, arriveAt
 }
 
 // Recv pops the oldest non-spawn message from `from` that has arrived by
-// `cycle`. ok=false means the receiver must stall this cycle.
-func (q *QueueNet) Recv(to, from int, cycle int64) (uint64, bool) {
+// `cycle`. ok=false means the receiver must stall this cycle. On success the
+// popped message's sequence number (as returned by Send) identifies the
+// matching send for trace flow binding.
+func (q *QueueNet) Recv(to, from int, cycle int64) (v uint64, seq int64, ok bool) {
 	qq := q.queues[to]
 	best := -1
 	for i, m := range qq {
@@ -277,12 +287,12 @@ func (q *QueueNet) Recv(to, from int, cycle int64) (uint64, bool) {
 	}
 	if best < 0 || qq[best].readyAt > cycle {
 		q.RecvWaits++
-		return 0, false
+		return 0, 0, false
 	}
-	v := qq[best].val
+	v, seq = qq[best].val, qq[best].seq
 	q.counts[qq[best].from*q.T.Cores()+to]--
 	q.queues[to] = append(qq[:best], qq[best+1:]...)
-	return v, true
+	return v, seq, true
 }
 
 // NextRecvAt returns the cycle at which a RECV on core `to` polling sender
@@ -308,8 +318,9 @@ func (q *QueueNet) NextRecvAt(to, from int) int64 {
 	return qq[best].readyAt
 }
 
-// RecvSpawn pops the oldest spawn message for an idle core.
-func (q *QueueNet) RecvSpawn(to int, cycle int64) (uint64, bool) {
+// RecvSpawn pops the oldest spawn message for an idle core. On success the
+// popped message's sequence number identifies the matching SendSpawn.
+func (q *QueueNet) RecvSpawn(to int, cycle int64) (addr uint64, seq int64, ok bool) {
 	qq := q.queues[to]
 	best := -1
 	for i, m := range qq {
@@ -321,12 +332,12 @@ func (q *QueueNet) RecvSpawn(to int, cycle int64) (uint64, bool) {
 		}
 	}
 	if best < 0 || qq[best].readyAt > cycle {
-		return 0, false
+		return 0, 0, false
 	}
-	v := qq[best].val
+	addr, seq = qq[best].val, qq[best].seq
 	q.counts[qq[best].from*q.T.Cores()+to]--
 	q.queues[to] = append(qq[:best], qq[best+1:]...)
-	return v, true
+	return addr, seq, true
 }
 
 // NextSpawnAt returns the cycle at which an idle core `to` would first see a

@@ -128,10 +128,10 @@ func TestBroadcast(t *testing.T) {
 func TestQueueLatency(t *testing.T) {
 	q := NewQueueNet(TopologyFor(4))
 	q.Send(0, 3, 42, 100) // 2 hops in 2x2
-	if _, ok := q.Recv(3, 0, 103); ok {
+	if _, _, ok := q.Recv(3, 0, 103); ok {
 		t.Error("message arrived before 2+hops latency")
 	}
-	v, ok := q.Recv(3, 0, 104)
+	v, _, ok := q.Recv(3, 0, 104)
 	if !ok || v != 42 {
 		t.Errorf("Recv = %d, %v; want 42 at cycle 104", v, ok)
 	}
@@ -140,10 +140,10 @@ func TestQueueLatency(t *testing.T) {
 func TestQueueAdjacentLatency(t *testing.T) {
 	q := NewQueueNet(TopologyFor(2))
 	q.Send(0, 1, 9, 10)
-	if _, ok := q.Recv(1, 0, 12); ok {
+	if _, _, ok := q.Recv(1, 0, 12); ok {
 		t.Error("arrived too early")
 	}
-	if v, ok := q.Recv(1, 0, 13); !ok || v != 9 {
+	if v, _, ok := q.Recv(1, 0, 13); !ok || v != 9 {
 		t.Error("adjacent queue-mode latency should be 3 (2 + 1 hop)")
 	}
 }
@@ -152,8 +152,8 @@ func TestQueueFIFOPerSender(t *testing.T) {
 	q := NewQueueNet(TopologyFor(2))
 	q.Send(0, 1, 1, 0)
 	q.Send(0, 1, 2, 1)
-	v1, ok1 := q.Recv(1, 0, 100)
-	v2, ok2 := q.Recv(1, 0, 100)
+	v1, _, ok1 := q.Recv(1, 0, 100)
+	v2, _, ok2 := q.Recv(1, 0, 100)
 	if !ok1 || !ok2 || v1 != 1 || v2 != 2 {
 		t.Errorf("FIFO broken: got %d,%d", v1, v2)
 	}
@@ -164,10 +164,10 @@ func TestQueueCAMSelectsBySender(t *testing.T) {
 	q.Send(2, 3, 20, 0)
 	q.Send(1, 3, 10, 0)
 	// Receiver asks for core 1's message even though core 2's arrived too.
-	if v, ok := q.Recv(3, 1, 100); !ok || v != 10 {
+	if v, _, ok := q.Recv(3, 1, 100); !ok || v != 10 {
 		t.Errorf("CAM lookup by sender failed: %d %v", v, ok)
 	}
-	if v, ok := q.Recv(3, 2, 100); !ok || v != 20 {
+	if v, _, ok := q.Recv(3, 2, 100); !ok || v != 20 {
 		t.Errorf("remaining message lost: %d %v", v, ok)
 	}
 }
@@ -176,14 +176,14 @@ func TestSpawnSeparateFromData(t *testing.T) {
 	q := NewQueueNet(TopologyFor(2))
 	q.SendSpawn(0, 1, 7, 0)
 	q.Send(0, 1, 99, 0)
-	if _, ok := q.Recv(1, 0, 100); !ok {
+	if _, _, ok := q.Recv(1, 0, 100); !ok {
 		t.Fatal("data recv failed")
 	}
-	addr, ok := q.RecvSpawn(1, 100)
+	addr, _, ok := q.RecvSpawn(1, 100)
 	if !ok || addr != 7 {
 		t.Errorf("spawn recv = %d, %v", addr, ok)
 	}
-	if _, ok := q.RecvSpawn(1, 100); ok {
+	if _, _, ok := q.RecvSpawn(1, 100); ok {
 		t.Error("spawn message delivered twice")
 	}
 }
