@@ -29,8 +29,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
+	"runtime"
+	"slices"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -151,6 +155,12 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 			}
 		}
 	}
+	// A machine-latency ablation of a round-one job: a distinct run key that
+	// must reuse the already-compiled artifact (the compile cache's reason
+	// to exist; the traced job below shares one the same way).
+	if err := post(`{"bench": "gsmdecode", "strategy": "hybrid", "cores": 4, "machine": {"queue_base_lat": 4}}`); err != nil {
+		return err
+	}
 	// Concurrent identical jobs: singleflight under real HTTP.
 	inline := `{"program": {"name": "smoke", "kernels": [
 		{"kind": "pipeline", "name": "p", "table": 16384, "n": 16384, "work": 16},
@@ -176,7 +186,7 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 	}
 	// A traced job: the response must link a fetchable Chrome trace.
 	tr, err := http.Post(base+"/v1/jobs", "application/json",
-		bytes.NewReader([]byte(`{"bench": "rawcaudio", "strategy": "hybrid", "cores": 2, "trace": true}`)))
+		bytes.NewReader([]byte(`{"bench": "rawcaudio", "strategy": "hybrid", "cores": 4, "trace": true}`)))
 	if err != nil {
 		return err
 	}
@@ -199,11 +209,35 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 	}
 
 	m := srv.Metrics()
-	fmt.Fprintf(stdout, "smoke: %d jobs, %d simulations, cache %d hits / %d misses / %d deduped\n",
-		m.Jobs, m.Simulations, m.CacheHits, m.CacheMisses, m.CacheDeduped)
+	fmt.Fprintf(stdout, "smoke: %d jobs, %d simulations, cache %d hits / %d misses / %d deduped, compile cache %.0f%% hot, pool %d hits / %d news\n",
+		m.Jobs, m.Simulations, m.CacheHits, m.CacheMisses, m.CacheDeduped,
+		100*m.CompileCacheHitRatio, m.MachinePoolHits, m.MachinePoolNews)
 	if m.CacheHits == 0 {
 		return fmt.Errorf("smoke: repeated jobs produced no cache hits")
 	}
+	if m.CompileCacheHits == 0 {
+		return fmt.Errorf("smoke: the request mix shared no compiled artifacts")
+	}
+
+	// Before/after per-job probe: the same alternating two-job stream against
+	// a pooled server and one with pooling disabled. With one cache entry
+	// every request simulates, so the delta isolates the warm-machine path.
+	fresh, err := probePerJob(true, 200)
+	if err != nil {
+		return err
+	}
+	pooled, err := probePerJob(false, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "smoke: per-job p50 %.0fus -> %.0fus, p99 %.0fus -> %.0fus, allocs/job %.0f -> %.0f (fresh -> pooled)\n",
+		fresh.P50Micros, pooled.P50Micros, fresh.P99Micros, pooled.P99Micros,
+		fresh.AllocsPerJob, pooled.AllocsPerJob)
+	if pooled.AllocsPerJob >= fresh.AllocsPerJob {
+		return fmt.Errorf("smoke: pooled path allocates %.0f objects/job, fresh path %.0f — pooling saves nothing",
+			pooled.AllocsPerJob, fresh.AllocsPerJob)
+	}
+
 	if metricsOut != "" {
 		f, err := os.Create(metricsOut)
 		if err != nil {
@@ -212,9 +246,85 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 		defer f.Close()
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(m); err != nil {
+		if err := enc.Encode(benchReport{
+			Metrics: m,
+			PerJob:  map[string]perJobStats{"fresh": fresh, "pooled": pooled},
+		}); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// benchReport is the BENCH_serve.json shape: the smoke run's service
+// metrics plus the pooled-vs-fresh per-job probe.
+type benchReport struct {
+	Metrics server.MetricsSnapshot `json:"metrics"`
+	// PerJob holds the hot-path measurement per serving mode: "fresh"
+	// builds a machine per job (the before-state), "pooled" reuses warm
+	// machines through the pool.
+	PerJob map[string]perJobStats `json:"per_job"`
+}
+
+// perJobStats is one serving mode's per-job cost in the smoke probe.
+type perJobStats struct {
+	Jobs         int     `json:"jobs"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
+}
+
+// probePerJob serves n alternating inline jobs straight through the handler
+// (no listener: the probe measures the serving path, not the TCP stack) with
+// a one-entry result cache, so every request compiles-or-hits the artifact
+// cache and simulates. It reports client-observed latency percentiles and
+// the process-wide allocation rate per job.
+func probePerJob(disablePool bool, n int) (perJobStats, error) {
+	srv := server.New(server.Config{Workers: 1, CacheEntries: 1, DisableMachinePool: disablePool})
+	h := srv.Handler()
+	jobs := [2]string{
+		`{"program": {"name": "probeA", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 64, "work": 2},
+			{"kind": "serial-chain", "name": "c", "n": 16}
+		]}, "strategy": "llp", "cores": 2}`,
+		`{"program": {"name": "probeB", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 96, "work": 2},
+			{"kind": "serial-chain", "name": "c", "n": 24}
+		]}, "strategy": "llp", "cores": 2}`,
+	}
+	post := func(i int) error {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(jobs[i&1]))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			return fmt.Errorf("probe job: status %d: %s", w.Code, w.Body.String())
+		}
+		return nil
+	}
+	for i := 0; i < 2; i++ { // warm the compile cache and (if enabled) the pool
+		if err := post(i); err != nil {
+			return perJobStats{}, err
+		}
+	}
+	durs := make([]time.Duration, n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := post(i); err != nil {
+			return perJobStats{}, err
+		}
+		durs[i] = time.Since(t0)
+	}
+	runtime.ReadMemStats(&after)
+	slices.Sort(durs)
+	return perJobStats{
+		Jobs:         n,
+		P50Micros:    float64(durs[n/2].Microseconds()),
+		P99Micros:    float64(durs[min(n-1, n*99/100)].Microseconds()),
+		AllocsPerJob: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerJob:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
 }

@@ -7,8 +7,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"voltron/internal/server"
 )
 
 // TestSmokeMode drives the -smoke self-test end to end: it exercises the
@@ -27,18 +25,32 @@ func TestSmokeMode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("metrics file: %v", err)
 	}
-	var m server.MetricsSnapshot
-	if err := json.Unmarshal(b, &m); err != nil {
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatalf("metrics file does not parse: %v\n%s", err, b)
 	}
+	m := rep.Metrics
 	if m.Jobs == 0 || m.Simulations == 0 {
 		t.Errorf("metrics snapshot empty: %+v", m)
 	}
 	if m.CacheHits == 0 {
 		t.Error("smoke run recorded no cache hits")
 	}
+	if m.CompileCacheHits == 0 {
+		t.Error("smoke run shared no compiled artifacts")
+	}
 	if m.Latency["hybrid"].Count == 0 {
 		t.Error("no hybrid latency observations recorded")
+	}
+	fresh, pooled := rep.PerJob["fresh"], rep.PerJob["pooled"]
+	if fresh.Jobs == 0 || pooled.Jobs == 0 {
+		t.Fatalf("per-job probe missing: %+v", rep.PerJob)
+	}
+	if pooled.AllocsPerJob >= fresh.AllocsPerJob {
+		t.Errorf("pooled allocs/job %.0f not below fresh %.0f", pooled.AllocsPerJob, fresh.AllocsPerJob)
+	}
+	if fresh.P50Micros <= 0 || pooled.P50Micros <= 0 || fresh.P99Micros < fresh.P50Micros || pooled.P99Micros < pooled.P50Micros {
+		t.Errorf("implausible percentiles: fresh %+v pooled %+v", fresh, pooled)
 	}
 }
 

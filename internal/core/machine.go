@@ -82,20 +82,45 @@ type RunResult struct {
 }
 
 // Machine simulates a Voltron system. A Machine may be reused for any
-// number of Run calls (reuse amortizes per-core scratch state across runs),
+// number of Run calls (reuse amortizes per-core scratch state, the memory
+// hierarchy's tag arrays, the network queues and the TM sets across runs),
 // but it must not be shared by concurrent goroutines — create one Machine
-// per goroutine instead.
+// per goroutine, or hand machines out exclusively from a pool.
 type Machine struct {
 	cfg Config
 	top xnet.Topology
 	// scratch holds per-core runtime state reused across regions and runs
 	// to cut allocation churn on the measured-selection hot path.
 	scratch []*coreState
+	// sys/direct/queue are the simulation components, allocated on the
+	// first run and reset — not rebuilt — on every later one; rs is the
+	// embedded run state reused the same way. Per-run outputs (RunResult,
+	// stats.Run, the Flat image) are still allocated fresh each run: they
+	// outlive the machine's next run by contract.
+	sys    *mem.System
+	direct *xnet.DirectNet
+	queue  *xnet.QueueNet
+	rs     runState
 }
 
 // New creates a machine.
 func New(cfg Config) *Machine {
 	return &Machine{cfg: cfg, top: xnet.TopologyFor(cfg.Cores)}
+}
+
+// Reset reconfigures the machine to cfg, reinstating exactly New(cfg)'s
+// invariants. When the machine shape is unchanged (same core count and
+// memory geometry) the allocated per-core scratch, cache tag arrays,
+// network queues and TM read/write sets are kept and re-zeroed at the next
+// run; otherwise the machine is rebuilt as New would build it. Either way
+// the next Run is byte-identical to a fresh machine's (the pooled-vs-fresh
+// differential tests assert it).
+func (m *Machine) Reset(cfg Config) {
+	if cfg.Cores != m.cfg.Cores || cfg.Mem != m.cfg.Mem {
+		*m = Machine{cfg: cfg, top: xnet.TopologyFor(cfg.Cores)}
+		return
+	}
+	m.cfg = cfg
 }
 
 // coreState is one core's runtime state.
@@ -229,17 +254,34 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 		return nil, fmt.Errorf("program compiled for %d cores, machine has %d", cp.Cores, m.cfg.Cores)
 	}
 	flat := cp.NewMemory()
-	rs := &runState{
+	if m.sys == nil {
+		m.sys = mem.NewSystem(m.cfg.Mem, flat)
+		m.direct = xnet.NewDirectNet(m.top)
+		m.queue = xnet.NewQueueNet(m.top)
+	} else {
+		// Warm machine: reinstate the components' initial state in place
+		// instead of rebuilding them — the whole point of pooling.
+		m.sys.Reset(flat)
+		m.direct.Reset()
+		m.queue.Reset()
+	}
+	rs := &m.rs
+	cores := rs.cores[:0]
+	*rs = runState{
 		m:       m,
 		cp:      cp,
-		sys:     mem.NewSystem(m.cfg.Mem, flat),
-		direct:  xnet.NewDirectNet(m.top),
-		queue:   xnet.NewQueueNet(m.top),
+		sys:     m.sys,
+		direct:  m.direct,
+		queue:   m.queue,
 		run:     stats.NewRun(m.cfg.Cores),
+		cores:   cores,
 		statsOn: !m.cfg.NoStats,
 		tr:      m.cfg.Tracer,
 		ref:     m.cfg.Reference,
 	}
+	// Drop run-scoped references on the way out so an idle pooled machine
+	// pins neither the compiled program nor the request's context/tracer.
+	defer func() { rs.ctx, rs.cp, rs.cr, rs.tr = nil, nil, nil, nil }()
 	if rs.tr == nil && m.cfg.Trace != nil {
 		// A text-only trace still flows through the structured stream: the
 		// machine collects events and renders them below.
@@ -264,7 +306,7 @@ func (m *Machine) RunContext(ctx context.Context, cp *CompiledProgram) (*RunResu
 	if m.cfg.QueueCap != 0 {
 		rs.queue.Cap = m.cfg.QueueCap
 	}
-	res := &RunResult{Run: rs.run, Mem: flat}
+	res := &RunResult{Run: rs.run, Mem: flat, RegionCycles: make([]int64, 0, len(cp.Regions))}
 	prevMode := Mode(-1)
 	for i, cr := range cp.Regions {
 		if rs.tr != nil {

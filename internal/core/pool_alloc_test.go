@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// TestPooledJobAllocCeiling is the allocation guard for the pooled serving
+// path: one job on a warm machine (Reset + Run) may allocate only its
+// per-run outputs — the RunResult, the stats.Run, the fresh memory image
+// and the reset stat slices — never the machine components themselves. The
+// ceiling has headroom over the measured count (~12) but catches any
+// regression that rebuilds the memory system, networks or scratch state
+// per job.
+func TestPooledJobAllocCeiling(t *testing.T) {
+	cp := tripCountProgram(256)
+	cfg := DefaultConfig(cp.Cores)
+	m := New(cfg)
+	if _, err := m.Run(cp); err != nil { // warm the machine
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Reset(cfg)
+		if _, err := m.Run(cp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 24
+	if allocs > ceiling {
+		t.Errorf("warm pooled job allocates %.0f objects/run, ceiling %d — the pooled path is rebuilding machine state", allocs, ceiling)
+	}
+}

@@ -148,6 +148,16 @@ place:
 	return victimState, victimAddr
 }
 
+// reset restores a freshly constructed cache's state — every line invalid
+// with zeroed tags and LRU stamps, clock rewound — while keeping the tag
+// array allocation. Unlike flushAll it erases tags and LRU order too, so a
+// reset cache is indistinguishable from a new one (machine pooling depends
+// on that for byte-identical reruns).
+func (c *cache) reset() {
+	clear(c.lines)
+	c.tick = 0
+}
+
 // flushAll invalidates every line, returning how many were dirty (M or O).
 func (c *cache) flushAll() int {
 	dirty := 0

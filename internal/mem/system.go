@@ -96,6 +96,34 @@ func NewSystem(cfg Config, flat *Flat) *System {
 	return s
 }
 
+// Reset reinstates NewSystem's initial state over a new backing store,
+// reusing the allocated cache tag arrays, bank table and TM sets — this is
+// Machine.Reset's path for pooled machines, so it must leave the hierarchy
+// byte-identical to a fresh one. The per-core stat slices are reallocated
+// rather than cleared in place: a RunResult holds a by-value copy of Stats
+// whose slices alias these, and a prior run's retained copy must stay
+// frozen after the machine is reused.
+func (s *System) Reset(flat *Flat) {
+	s.Flat = flat
+	s.Tracer = nil
+	for _, c := range s.l1d {
+		c.reset()
+	}
+	for _, c := range s.l1i {
+		c.reset()
+	}
+	s.l2.reset()
+	s.busFreeAt = 0
+	clear(s.bankFreeAt)
+	s.St = Stats{
+		L1DHits:   make([]int64, s.Cfg.Cores),
+		L1DMisses: make([]int64, s.Cfg.Cores),
+		L1IHits:   make([]int64, s.Cfg.Cores),
+		L1IMisses: make([]int64, s.Cfg.Cores),
+	}
+	s.TM.Reset()
+}
+
 // acquireBus serializes bus transactions: the transaction starts no earlier
 // than now and the bus being free, and holds the bus for dur cycles. It
 // returns the completion time.

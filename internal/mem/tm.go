@@ -34,6 +34,23 @@ func NewTM(n int) *TM {
 	return &TM{tx: make([]txState, n)}
 }
 
+// Reset restores NewTM's initial state while keeping each core's
+// read/write-set maps and undo-log backing arrays — the same allocations
+// Begin recycles within a run are worth keeping across pooled-machine runs.
+func (tm *TM) Reset() {
+	tm.conflicts = 0
+	for i := range tm.tx {
+		t := &tm.tx[i]
+		t.active, t.aborted = false, false
+		t.order = 0
+		if t.readSet != nil {
+			clear(t.readSet)
+			clear(t.writeSet)
+		}
+		t.undoAddr, t.undoVal = t.undoAddr[:0], t.undoVal[:0]
+	}
+}
+
 // Begin starts a transaction on core with the given chunk order. The
 // read/write-set maps and undo log are recycled across transactions on the
 // same core (chunked DOALL loops begin one transaction per chunk, so fresh

@@ -29,28 +29,36 @@ func (s cacheStatus) String() string {
 	return "miss"
 }
 
-// cache is a content-addressed result cache: bounded LRU over completed
-// entries plus singleflight deduplication of in-flight computations.
-// Values are immutable rendered response bodies, so concurrent identical
-// requests observe byte-identical results.
-type cache struct {
+// sfCache is a content-addressed cache: bounded LRU over completed entries
+// plus singleflight deduplication of in-flight computations. Values must be
+// immutable once computed — rendered response bodies, compiled artifacts —
+// so concurrent callers may share them. The server instantiates it twice:
+// as the per-run result cache (V = []byte, the rendered response) and as
+// the compile-artifact cache (V = *core.CompiledProgram, shared across
+// every run keyed to the same compile identity).
+type sfCache[V any] struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*cacheEntry
+	entries map[string]*sfEntry[V]
 	lru     list.List // completed entries, front = most recently used
 }
 
-type cacheEntry struct {
+type sfEntry[V any] struct {
 	key  string
 	elem *list.Element // nil while in flight
 	done chan struct{}
-	val  []byte
+	val  V
 	err  error
 }
 
-func newCache(max int) *cache {
-	return &cache{max: max, entries: map[string]*cacheEntry{}}
+func newSFCache[V any](max int) *sfCache[V] {
+	return &sfCache[V]{max: max, entries: map[string]*sfEntry[V]{}}
 }
+
+// cache is the rendered-response instantiation, the original result cache.
+type cache = sfCache[[]byte]
+
+func newCache(max int) *cache { return newSFCache[[]byte](max) }
 
 // get returns the value for key, computing it via fn at most once across
 // concurrent callers. Errors are not cached: the failed entry is removed so
@@ -59,7 +67,8 @@ func newCache(max int) *cache {
 // request starts fresh). A waiter whose own ctx is canceled stops waiting
 // and returns its ctx error; the in-flight computation continues for the
 // other waiters.
-func (c *cache) get(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, cacheStatus, error) {
+func (c *sfCache[V]) get(ctx context.Context, key string, fn func() (V, error)) (V, cacheStatus, error) {
+	var zero V
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil { // completed
@@ -71,14 +80,14 @@ func (c *cache) get(ctx context.Context, key string, fn func() ([]byte, error)) 
 		select {
 		case <-e.done:
 			if e.err != nil {
-				return nil, cacheDeduped, e.err
+				return zero, cacheDeduped, e.err
 			}
 			return e.val, cacheDeduped, nil
 		case <-ctx.Done():
-			return nil, cacheDeduped, ctx.Err()
+			return zero, cacheDeduped, ctx.Err()
 		}
 	}
-	e := &cacheEntry{key: key, done: make(chan struct{})}
+	e := &sfEntry[V]{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
@@ -89,20 +98,20 @@ func (c *cache) get(ctx context.Context, key string, fn func() ([]byte, error)) 
 	} else {
 		e.elem = c.lru.PushFront(e)
 		for c.lru.Len() > c.max {
-			old := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+			old := c.lru.Remove(c.lru.Back()).(*sfEntry[V])
 			delete(c.entries, old.key)
 		}
 	}
 	c.mu.Unlock()
 	close(e.done)
 	if e.err != nil {
-		return nil, cacheMiss, e.err
+		return zero, cacheMiss, e.err
 	}
 	return e.val, cacheMiss, nil
 }
 
 // len reports the number of completed cached entries.
-func (c *cache) len() int {
+func (c *sfCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()

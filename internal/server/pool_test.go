@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/spec"
+)
+
+// testCompiled compiles the tinyJob program the way the server would.
+func testCompiled(t testing.TB) (*core.CompiledProgram, core.Config, string) {
+	t.Helper()
+	req, _, err := spec.DecodeJob(strings.NewReader(tinyJob()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(func(string) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	p, err := req.Program.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := compiler.Compile(p, req.CompilerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, req.MachineConfig(nil), req.MachineKey()
+}
+
+// TestMachinePoolExclusiveOwnership hammers one pool from 16 goroutines
+// under -race: a machine handed out by get must never be owned by two
+// workers at once (Machine state is not goroutine-safe, so an aliased
+// machine is both a logic bug and a data race the detector would flag via
+// the concurrent RunContext calls).
+func TestMachinePoolExclusiveOwnership(t *testing.T) {
+	cp, cfg, key := testCompiled(t)
+	pool := newMachinePool(2)
+	var inUse sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				m := pool.get(key, cfg)
+				if _, loaded := inUse.LoadOrStore(m, true); loaded {
+					t.Error("pool handed one machine to two concurrent owners")
+				}
+				if _, err := m.RunContext(context.Background(), cp); err != nil {
+					t.Error(err)
+				}
+				inUse.Delete(m)
+				pool.put(key, m)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := pool.size(); got > 2 {
+		t.Errorf("pool holds %d idle machines for one key, bound is 2", got)
+	}
+}
+
+// TestPooledMatchesFreshServer runs the same job mix against a pooled
+// server and one with pooling disabled; every response body must be
+// byte-identical (the response is rendered from the RunResult, so equal
+// bodies mean equal simulations).
+func TestPooledMatchesFreshServer(t *testing.T) {
+	jobs := []string{
+		tinyJob(),
+		`{"program": {"name": "tiny", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 64, "work": 2},
+			{"kind": "serial-chain", "name": "c", "n": 16}
+		]}, "strategy": "hybrid", "cores": 4, "baseline": true}`,
+		`{"program": {"name": "pipe", "kernels": [
+			{"kind": "pipeline", "name": "p", "n": 48}
+		]}, "strategy": "ftlp", "cores": 4, "trace": true}`,
+		`{"program": {"name": "ilp", "kernels": [
+			{"kind": "ilp-loop", "name": "i", "n": 32}
+		]}, "strategy": "ilp", "cores": 2}`,
+		tinyJob(), // repeat: served from cache, must match the first answer
+	}
+	_, pooled := newTestServer(t, Config{Workers: 2})
+	_, fresh := newTestServer(t, Config{Workers: 2, DisableMachinePool: true})
+	for i, job := range jobs {
+		respP, bodyP := postJob(t, pooled, job)
+		respF, bodyF := postJob(t, fresh, job)
+		if respP.StatusCode != http.StatusOK || respF.StatusCode != http.StatusOK {
+			t.Fatalf("job %d: status pooled=%d fresh=%d, body %s", i, respP.StatusCode, respF.StatusCode, bodyP)
+		}
+		if string(bodyP) != string(bodyF) {
+			t.Errorf("job %d: pooled body differs from fresh\npooled: %s\nfresh:  %s", i, bodyP, bodyF)
+		}
+	}
+}
+
+// TestCompileCacheSharedAcrossVariants: trace variants and machine-latency
+// ablations of one program × strategy must share a single compile, reported
+// per request by the X-Voltron-Compile-Cache header and in aggregate by
+// /metrics.
+func TestCompileCacheSharedAcrossVariants(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	post := func(body, wantRun, wantCompile string) {
+		t.Helper()
+		resp, b := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Voltron-Cache"); got != wantRun {
+			t.Errorf("X-Voltron-Cache = %q, want %q", got, wantRun)
+		}
+		if got := resp.Header.Get("X-Voltron-Compile-Cache"); got != wantCompile {
+			t.Errorf("X-Voltron-Compile-Cache = %q, want %q", got, wantCompile)
+		}
+	}
+	job := func(extra string) string {
+		return `{"program": {"name": "ccache", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 64, "work": 2}
+		]}, "strategy": "llp", "cores": 2` + extra + `}`
+	}
+	// Distinct run keys, one compiled artifact.
+	post(job(``), "miss", "miss")
+	post(job(`, "trace": true`), "miss", "hit")
+	post(job(`, "machine": {"queue_base_lat": 7}`), "miss", "hit")
+	// A result-cache hit never consults the compile stage: no header.
+	post(job(``), "hit", "")
+	// A different strategy is a different artifact.
+	post(`{"program": {"name": "ccache", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 64, "work": 2}
+		]}, "strategy": "hybrid", "cores": 2}`, "miss", "miss")
+
+	m := s.Metrics()
+	if m.CompileCacheMisses != 2 || m.CompileCacheHits != 2 {
+		t.Errorf("compile cache hits=%d misses=%d, want 2/2", m.CompileCacheHits, m.CompileCacheMisses)
+	}
+	if m.CompileCacheEntries != 2 {
+		t.Errorf("compile cache entries = %d, want 2", m.CompileCacheEntries)
+	}
+	if want := 0.5; m.CompileCacheHitRatio != want {
+		t.Errorf("compile cache hit ratio = %v, want %v", m.CompileCacheHitRatio, want)
+	}
+}
+
+// TestPoolMetricsAccount: across a burst of distinct jobs, every simulation
+// got its machine from the pool (hits + news == simulations), the pool
+// retains warm machines afterwards, and repeated bursts reuse them.
+func TestPoolMetricsAccount(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, CacheEntries: 1})
+	job := func(n int) string {
+		return fmt.Sprintf(`{"program": {"name": "burst", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": %d, "work": 2}
+		]}, "strategy": "llp", "cores": 2}`, 64+16*n)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postJob(t, ts, job(i))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("job %d: status %d: %s", i, resp.StatusCode, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitForIdle(t, s)
+	m := s.Metrics()
+	if m.MachinePoolHits+m.MachinePoolNews != m.Simulations {
+		t.Errorf("pool accounting: hits %d + news %d != simulations %d",
+			m.MachinePoolHits, m.MachinePoolNews, m.Simulations)
+	}
+	if m.MachinePoolIdle == 0 {
+		t.Error("no warm machines retained after the burst")
+	}
+	if m.MachinePoolResets != m.MachinePoolHits {
+		t.Errorf("resets %d != hits %d", m.MachinePoolResets, m.MachinePoolHits)
+	}
+	// A second identical burst runs entirely on warm machines.
+	news := m.MachinePoolNews
+	for i := 0; i < 6; i++ {
+		// CacheEntries: 1 evicts all but the last body, so these re-simulate.
+		if resp, b := postJob(t, ts, job(i)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("rerun %d: status %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	waitForIdle(t, s)
+	if m = s.Metrics(); m.MachinePoolNews != news {
+		t.Errorf("serial rerun built %d fresh machines, want 0", m.MachinePoolNews-news)
+	}
+}

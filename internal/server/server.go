@@ -46,6 +46,15 @@ type Config struct {
 	// than job responses, so they get their own, smaller bound). Defaults
 	// to 32.
 	TraceEntries int
+	// ArtifactEntries bounds the compile-artifact LRU: compiled programs
+	// cached by spec.CompileKey and shared across trace variants, machine
+	// ablations and baseline runs of the same program. Defaults to 64.
+	ArtifactEntries int
+	// DisableMachinePool turns off warm-machine reuse: every run builds a
+	// fresh core.Machine. The pooled path is byte-identical to this one
+	// (the differential tests assert it); the switch exists for the
+	// before/after comparison in the serve smoke and benchmarks.
+	DisableMachinePool bool
 	// Suite optionally shares an experiment suite (benchmark programs,
 	// profiles, and figure results). Defaults to a fresh one.
 	Suite *exp.Suite
@@ -55,23 +64,28 @@ type Config struct {
 // Handler, stop by shutting down the enclosing http.Server (jobs run
 // synchronously inside handlers, so draining handlers drains jobs).
 type Server struct {
-	cfg    Config
-	suite  *exp.Suite
-	cache  *cache
-	traces *blobStore
-	sem    chan struct{}
-	start  time.Time
+	cfg       Config
+	suite     *exp.Suite
+	cache     *cache
+	artifacts *sfCache[*core.CompiledProgram]
+	traces    *blobStore
+	pool      *machinePool
+	batch     *batcher
+	// compileSem bounds concurrent compilations separately from the run
+	// slots (a compile must not starve runs of the warm machines it feeds).
+	compileSem chan struct{}
+	start      time.Time
 
-	jobs        stats.Counter
-	simulations stats.Counter
-	hits        stats.Counter
-	misses      stats.Counter
-	deduped     stats.Counter
-	errorsN     stats.Counter
-	canceled    stats.Counter
-	queueDepth  stats.Counter
-	inFlight    stats.Counter
-	latency     map[string]*stats.Histogram
+	jobs           stats.Counter
+	hits           stats.Counter
+	misses         stats.Counter
+	deduped        stats.Counter
+	compileHits    stats.Counter
+	compileMisses  stats.Counter
+	compileDeduped stats.Counter
+	errorsN        stats.Counter
+	canceled       stats.Counter
+	latency        map[string]*stats.Histogram
 }
 
 // New creates a Server.
@@ -88,19 +102,29 @@ func New(cfg Config) *Server {
 	if cfg.TraceEntries <= 0 {
 		cfg.TraceEntries = 32
 	}
+	if cfg.ArtifactEntries <= 0 {
+		cfg.ArtifactEntries = 64
+	}
 	if cfg.Suite == nil {
 		cfg.Suite = exp.NewSuite()
 		cfg.Suite.Workers = cfg.Workers
 	}
-	s := &Server{
-		cfg:     cfg,
-		suite:   cfg.Suite,
-		cache:   newCache(cfg.CacheEntries),
-		traces:  newBlobStore(cfg.TraceEntries),
-		sem:     make(chan struct{}, cfg.Workers),
-		start:   time.Now(),
-		latency: map[string]*stats.Histogram{},
+	poolPerKey := cfg.Workers
+	if cfg.DisableMachinePool {
+		poolPerKey = 0
 	}
+	s := &Server{
+		cfg:        cfg,
+		suite:      cfg.Suite,
+		cache:      newCache(cfg.CacheEntries),
+		artifacts:  newSFCache[*core.CompiledProgram](cfg.ArtifactEntries),
+		traces:     newBlobStore(cfg.TraceEntries),
+		pool:       newMachinePool(poolPerKey),
+		compileSem: make(chan struct{}, cfg.Workers),
+		start:      time.Now(),
+		latency:    map[string]*stats.Histogram{},
+	}
+	s.batch = newBatcher(cfg.Workers, s.pool)
 	for _, si := range spec.Strategies() {
 		s.latency[si.Name] = &stats.Histogram{}
 	}
@@ -129,15 +153,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.Names()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"benchmarks": workload.Names()})
 }
 
 func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"strategies": spec.Strategies()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"strategies": spec.Strategies()})
 }
 
 // handleTrace serves the Chrome trace JSON of a previously traced job.
@@ -147,7 +171,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	b, ok := s.traces.get(key)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (evicted or never produced; re-POST the job with \"trace\": true)", key))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (evicted or never produced; re-POST the job with \"trace\": true)", key))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -157,37 +181,65 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // MetricsSnapshot is the /metrics response.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                            `json:"uptime_seconds"`
-	Workers       int                                `json:"workers"`
-	Jobs          int64                              `json:"jobs"`
-	Simulations   int64                              `json:"simulations"`
-	CacheHits     int64                              `json:"cache_hits"`
-	CacheMisses   int64                              `json:"cache_misses"`
-	CacheDeduped  int64                              `json:"cache_deduped"`
-	CacheEntries  int                                `json:"cache_entries"`
-	Errors        int64                              `json:"errors"`
-	Canceled      int64                              `json:"canceled"`
-	QueueDepth    int64                              `json:"queue_depth"`
-	InFlight      int64                              `json:"in_flight"`
-	Latency       map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	Jobs          int64   `json:"jobs"`
+	Simulations   int64   `json:"simulations"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheDeduped  int64   `json:"cache_deduped"`
+	CacheEntries  int     `json:"cache_entries"`
+	// Compile-artifact cache effectiveness: how often the compile stage was
+	// satisfied without compiling. The hit ratio counts hits and dedups over
+	// all compile-stage lookups (0 when none happened yet).
+	CompileCacheHits     int64   `json:"compile_cache_hits"`
+	CompileCacheMisses   int64   `json:"compile_cache_misses"`
+	CompileCacheDeduped  int64   `json:"compile_cache_deduped"`
+	CompileCacheEntries  int     `json:"compile_cache_entries"`
+	CompileCacheHitRatio float64 `json:"compile_cache_hit_ratio"`
+	// Machine-pool effectiveness: a hit reused (and reset) a warm machine,
+	// a "new" built one from scratch. BatchedRuns counts simulations drained
+	// on another request's worker slot (homogeneous-job batching).
+	MachinePoolHits   int64                              `json:"machine_pool_hits"`
+	MachinePoolResets int64                              `json:"machine_pool_resets"`
+	MachinePoolNews   int64                              `json:"machine_pool_news"`
+	MachinePoolIdle   int                                `json:"machine_pool_idle"`
+	BatchedRuns       int64                              `json:"batched_runs"`
+	Errors            int64                              `json:"errors"`
+	Canceled          int64                              `json:"canceled"`
+	QueueDepth        int64                              `json:"queue_depth"`
+	InFlight          int64                              `json:"in_flight"`
+	Latency           map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
 }
 
 // Metrics returns a point-in-time snapshot of the service counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	m := MetricsSnapshot{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Workers:       s.cfg.Workers,
-		Jobs:          s.jobs.Value(),
-		Simulations:   s.simulations.Value(),
-		CacheHits:     s.hits.Value(),
-		CacheMisses:   s.misses.Value(),
-		CacheDeduped:  s.deduped.Value(),
-		CacheEntries:  s.cache.len(),
-		Errors:        s.errorsN.Value(),
-		Canceled:      s.canceled.Value(),
-		QueueDepth:    s.queueDepth.Value(),
-		InFlight:      s.inFlight.Value(),
-		Latency:       map[string]stats.HistogramSnapshot{},
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+		Workers:             s.cfg.Workers,
+		Jobs:                s.jobs.Value(),
+		Simulations:         s.batch.runs.Value(),
+		CacheHits:           s.hits.Value(),
+		CacheMisses:         s.misses.Value(),
+		CacheDeduped:        s.deduped.Value(),
+		CacheEntries:        s.cache.len(),
+		CompileCacheHits:    s.compileHits.Value(),
+		CompileCacheMisses:  s.compileMisses.Value(),
+		CompileCacheDeduped: s.compileDeduped.Value(),
+		CompileCacheEntries: s.artifacts.len(),
+		MachinePoolHits:     s.pool.hits.Value(),
+		MachinePoolResets:   s.pool.resets.Value(),
+		MachinePoolNews:     s.pool.news.Value(),
+		MachinePoolIdle:     s.pool.size(),
+		BatchedRuns:         s.batch.batched.Value(),
+		Errors:              s.errorsN.Value(),
+		Canceled:            s.canceled.Value(),
+		QueueDepth:          s.batch.queued.Value(),
+		InFlight:            s.batch.running.Value(),
+		Latency:             map[string]stats.HistogramSnapshot{},
+	}
+	if total := m.CompileCacheHits + m.CompileCacheMisses + m.CompileCacheDeduped; total > 0 {
+		m.CompileCacheHitRatio = float64(m.CompileCacheHits+m.CompileCacheDeduped) / float64(total)
 	}
 	for name, h := range s.latency {
 		m.Latency[name] = h.Snapshot()
@@ -196,7 +248,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	s.writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 // JobResponse is the /v1/jobs response body. It is rendered once per cache
@@ -240,7 +292,7 @@ type MemStats struct {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	req, deprecated, err := spec.DecodeJob(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if len(deprecated) > 0 {
@@ -250,7 +302,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		_, err := s.suite.Program(b)
 		return err == nil
 	}); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.jobs.Inc()
@@ -258,7 +310,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	startedAt := time.Now()
-	body, status, err := s.jobBody(ctx, req)
+	body, status, cstat, compiled, err := s.jobBody(ctx, req)
 	switch status {
 	case cacheHit:
 		s.hits.Inc()
@@ -272,43 +324,53 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.canceled.Inc()
-			writeError(w, http.StatusGatewayTimeout, err)
+			s.writeError(w, http.StatusGatewayTimeout, err)
 		case errors.Is(err, context.Canceled):
 			s.canceled.Inc()
 			// 499 Client Closed Request (nginx convention): the client is
 			// usually gone, but write a status anyway for proxies and tests.
-			writeError(w, 499, err)
+			s.writeError(w, 499, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
 	s.latency[req.Strategy].Observe(time.Since(startedAt))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Voltron-Cache", status.String())
+	if compiled {
+		// Only a request that actually reached the compile stage (a result
+		// cache miss) reports how that stage was satisfied; a result hit or
+		// dedup never consulted the artifact cache.
+		w.Header().Set("X-Voltron-Compile-Cache", cstat.String())
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
 
 // jobBody resolves one normalized job to its rendered response body via
-// the content-addressed cache.
-func (s *Server) jobBody(ctx context.Context, req *JobRequest) ([]byte, cacheStatus, error) {
+// the content-addressed cache. compiled reports whether this request ran
+// the compile stage itself (i.e. the result lookup missed), in which case
+// compile says how the artifact cache satisfied it.
+func (s *Server) jobBody(ctx context.Context, req *JobRequest) (body []byte, status cacheStatus, compile cacheStatus, compiled bool, err error) {
 	key := req.Key()
-	return s.cache.get(ctx, key, func() ([]byte, error) {
-		resp, err := s.runJob(ctx, req, key)
+	body, status, err = s.cache.get(ctx, key, func() ([]byte, error) {
+		resp, cstat, err := s.runJob(ctx, req, key)
 		if err != nil {
 			return nil, err
 		}
+		compile, compiled = cstat, true
 		return json.Marshal(resp)
 	})
+	return body, status, compile, compiled, err
 }
 
 // runJob executes one normalized job (and, when asked, its serial
 // baseline) and assembles the response.
-func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, error) {
-	res, tr, err := s.simulate(ctx, req)
+func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, cacheStatus, error) {
+	res, tr, cstat, err := s.simulate(ctx, req)
 	if err != nil {
-		return nil, err
+		return nil, cstat, err
 	}
 	resp := &JobResponse{
 		SchemaVersion: spec.SchemaVersion,
@@ -346,7 +408,7 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 		// computation, so concurrent identical traced jobs render once.
 		var buf bytes.Buffer
 		if err := tr.WriteChrome(&buf); err != nil {
-			return nil, fmt.Errorf("rendering trace: %w", err)
+			return nil, cstat, fmt.Errorf("rendering trace: %w", err)
 		}
 		s.traces.put(key, buf.Bytes())
 		resp.TraceURL = "/v1/traces/" + key
@@ -360,27 +422,32 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 		// job's timeline, not the baseline's.
 		base := *req
 		base.Strategy, base.Cores, base.Baseline, base.Trace = "serial", 1, false, false
-		body, _, err := s.jobBody(ctx, &base)
+		body, _, _, _, err := s.jobBody(ctx, &base)
 		if err != nil {
-			return nil, fmt.Errorf("baseline: %w", err)
+			return nil, cstat, fmt.Errorf("baseline: %w", err)
 		}
 		var bresp JobResponse
 		if err := json.Unmarshal(body, &bresp); err != nil {
-			return nil, fmt.Errorf("baseline: %w", err)
+			return nil, cstat, fmt.Errorf("baseline: %w", err)
 		}
 		resp.BaselineCycles = bresp.TotalCycles
 		if res.TotalCycles > 0 {
 			resp.Speedup = float64(bresp.TotalCycles) / float64(res.TotalCycles)
 		}
 	}
-	return resp, nil
+	return resp, cstat, nil
 }
 
-// simulate compiles and runs one normalized job under a worker-pool slot.
-// The slot is bounded by Config.Workers; waiting for it respects ctx, so a
-// canceled request never occupies (or leaks) a slot. When the request asks
-// for a trace, the returned tracer holds the run's event stream.
-func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, *trace.Tracer, error) {
+// simulate runs one normalized job through the two-stage pipeline. Stage
+// one resolves the compiled artifact by spec.CompileKey — trace variants,
+// machine-latency ablations and baseline comparisons of the same program ×
+// strategy share one compiler.Compile, deduplicated in flight and cached
+// across jobs. Stage two executes the artifact on a pooled warm machine
+// under a bounded worker slot (the batcher); waiting for either stage
+// respects ctx, so a canceled request never occupies (or leaks) a slot.
+// When the request asks for a trace, the returned tracer holds the run's
+// event stream. The returned cacheStatus says how stage one was satisfied.
+func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, *trace.Tracer, cacheStatus, error) {
 	var (
 		p   *ir.Program
 		pr  *prof.Profile
@@ -388,45 +455,55 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 	)
 	if req.Bench != "" {
 		if p, err = s.suite.Program(req.Bench); err != nil {
-			return nil, nil, err
+			return nil, nil, cacheMiss, err
 		}
 		if pr, err = s.suite.Profile(req.Bench); err != nil {
-			return nil, nil, err
+			return nil, nil, cacheMiss, err
 		}
 	} else if p, err = req.Program.Build(); err != nil {
-		return nil, nil, err
+		return nil, nil, cacheMiss, err
 	}
-	s.queueDepth.Add(1)
-	select {
-	case s.sem <- struct{}{}:
-		s.queueDepth.Add(-1)
-	case <-ctx.Done():
-		s.queueDepth.Add(-1)
-		return nil, nil, fmt.Errorf("waiting for a worker slot: %w", ctx.Err())
-	}
-	defer func() { <-s.sem }()
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-	s.simulations.Inc()
 
-	opts := req.CompilerOpts()
-	opts.Profile = pr // nil for inline programs: the compiler profiles them
-	cp, err := compiler.Compile(p, opts)
+	ckey := req.CompileKey()
+	cp, cstat, err := s.artifacts.get(ctx, ckey, func() (*core.CompiledProgram, error) {
+		select {
+		case s.compileSem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("waiting for a compile slot: %w", ctx.Err())
+		}
+		defer func() { <-s.compileSem }()
+		opts := req.CompilerOpts()
+		opts.Profile = pr // nil for inline programs: the compiler profiles them
+		return compiler.Compile(p, opts)
+	})
+	switch cstat {
+	case cacheHit:
+		s.compileHits.Inc()
+	case cacheMiss:
+		s.compileMisses.Inc()
+	case cacheDeduped:
+		s.compileDeduped.Inc()
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, cstat, err
 	}
 	if err := ctx.Err(); err != nil { // compile finished after cancellation
-		return nil, nil, err
+		return nil, nil, cstat, err
 	}
 	var tr *trace.Tracer
 	if req.Trace {
 		tr = trace.New()
 	}
-	res, err := core.New(req.MachineConfig(tr)).RunContext(ctx, cp)
+	res, err := s.batch.run(ctx, &runReq{
+		batch: ckey,
+		pool:  req.MachineKey(),
+		cfg:   req.MachineConfig(tr),
+		cp:    cp,
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, cstat, err
 	}
-	return res, tr, nil
+	return res, tr, cstat, nil
 }
 
 // handleFigure regenerates one paper figure through the shared suite. The
@@ -435,12 +512,12 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad figure number %q", r.PathValue("n")))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad figure number %q", r.PathValue("n")))
 		return
 	}
 	tab, err := s.suite.Figure(n)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -450,12 +527,18 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body. An Encode failure after the
+// status line went out cannot be reported to the client, but it is not
+// silent either: it counts toward the errors metric, same as handleFigure's
+// streamed writes.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.errorsN.Inc()
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }

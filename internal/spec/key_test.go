@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// normalized builds a normalized job request for key tests.
+func normalized(t *testing.T, r *JobRequest) *JobRequest {
+	t.Helper()
+	if err := r.Normalize(func(string) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestCompileKeySplit pins the two-level content address: every strategy ×
+// cores × trace combination keys distinctly at the run level, while the
+// compile key collapses exactly the combinations that share a compiled
+// artifact (same strategy and cores, any trace flag).
+func TestCompileKeySplit(t *testing.T) {
+	type variant struct {
+		strategy string
+		cores    int
+		trace    bool
+	}
+	var variants []variant
+	for _, si := range Strategies() {
+		for _, cores := range []int{1, 2, 4} {
+			for _, tr := range []bool{false, true} {
+				variants = append(variants, variant{si.Name, cores, tr})
+			}
+		}
+	}
+	runKeys := map[string]variant{}
+	compileKeys := map[string]string{} // compile key -> strategy/cores it stands for
+	for _, v := range variants {
+		r := normalized(t, &JobRequest{Bench: "x", Strategy: v.strategy, Cores: v.cores, Trace: v.trace})
+		rk, ck := r.Key(), r.CompileKey()
+		if prev, dup := runKeys[rk]; dup {
+			t.Errorf("run key collision: %+v and %+v", prev, v)
+		}
+		runKeys[rk] = v
+		ident := fmt.Sprintf("%s/%d", v.strategy, v.cores)
+		if prev, ok := compileKeys[ck]; ok {
+			if prev != ident {
+				t.Errorf("compile key collision: %s and %s share a key", prev, ident)
+			}
+		} else {
+			compileKeys[ck] = ident
+		}
+	}
+	// 5 strategies × 3 core counts compile distinctly; the trace axis folds.
+	if want := len(Strategies()) * 3; len(compileKeys) != want {
+		t.Errorf("got %d compile keys, want %d (one per strategy × cores)", len(compileKeys), want)
+	}
+	if want := len(variants); len(runKeys) != want {
+		t.Errorf("got %d run keys, want %d (all variants distinct)", len(runKeys), want)
+	}
+}
+
+// TestCompileKeyIgnoresRunOnlyFields: machine latencies, baseline and trace
+// cannot change compiler output, so they must not fragment the artifact
+// cache; compiler gates must.
+func TestCompileKeyIgnoresRunOnlyFields(t *testing.T) {
+	base := normalized(t, &JobRequest{Bench: "x"})
+	sameArtifact := []*JobRequest{
+		{Bench: "x", Trace: true},
+		{Bench: "x", Baseline: true},
+		{Bench: "x", Machine: MachineOptions{RegionSyncLat: 9, QueueBaseLat: 7, QueueCap: -1}},
+	}
+	for _, r := range sameArtifact {
+		r = normalized(t, r)
+		if r.Key() == base.Key() {
+			t.Errorf("run keys must differ: %+v", r)
+		}
+		if r.CompileKey() != base.CompileKey() {
+			t.Errorf("compile key fragments on a run-only field: %+v", r)
+		}
+	}
+	differentArtifact := []*JobRequest{
+		{Bench: "y"},
+		{Bench: "x", Strategy: "llp"},
+		{Bench: "x", Cores: 2},
+		{Bench: "x", Compiler: CompilerOptions{DSWPThreshold: 0.5}},
+		{Bench: "x", Compiler: CompilerOptions{StaticSelection: true}},
+	}
+	for _, r := range differentArtifact {
+		r = normalized(t, r)
+		if r.CompileKey() == base.CompileKey() {
+			t.Errorf("compile key misses a compile-relevant field: %+v", r)
+		}
+	}
+}
+
+// TestMachineKeyGroupsPools: the machine-pool key folds everything but the
+// machine shape and latency overrides, so warm machines are shared across
+// programs and strategies but never across machine configurations.
+func TestMachineKeyGroupsPools(t *testing.T) {
+	base := normalized(t, &JobRequest{Bench: "x"})
+	samePool := []*JobRequest{
+		{Bench: "y"},
+		{Bench: "x", Strategy: "ilp"},
+		{Bench: "x", Trace: true},
+		{Bench: "x", Compiler: CompilerOptions{StaticSelection: true}},
+	}
+	for _, r := range samePool {
+		if normalized(t, r).MachineKey() != base.MachineKey() {
+			t.Errorf("machine key fragments on a non-machine field: %+v", r)
+		}
+	}
+	differentPool := []*JobRequest{
+		{Bench: "x", Cores: 2},
+		{Bench: "x", Machine: MachineOptions{RegionSyncLat: 9}},
+		{Bench: "x", Machine: MachineOptions{ModeSwitchLat: 5}},
+		{Bench: "x", Machine: MachineOptions{QueueBaseLat: 7}},
+		{Bench: "x", Machine: MachineOptions{QueueHopLat: 3}},
+		{Bench: "x", Machine: MachineOptions{QueueCap: -1}},
+	}
+	seen := map[string]bool{base.MachineKey(): true}
+	for _, r := range differentPool {
+		k := normalized(t, r).MachineKey()
+		if seen[k] {
+			t.Errorf("machine key collision: %+v", r)
+		}
+		seen[k] = true
+	}
+}

@@ -275,6 +275,52 @@ func (r *JobRequest) Key() string {
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
+// compileIdentity is the slice of a job that determines the compiled
+// artifact: what to compile (benchmark or inline program), how (strategy
+// and compiler gates) and for how many cores. Machine latencies, the trace
+// flag and the baseline flag cannot change compiler output, so they are
+// deliberately absent — jobs differing only in those share one artifact.
+type compileIdentity struct {
+	Bench    string          `json:"bench,omitempty"`
+	Program  *ProgramSpec    `json:"program,omitempty"`
+	Strategy string          `json:"strategy"`
+	Cores    int             `json:"cores"`
+	Compiler CompilerOptions `json:"compiler"`
+}
+
+// CompileKey derives the compile-stage content address of a normalized
+// request: the SHA-256 of the compile-relevant fields only. Requests with
+// equal CompileKey — trace variants, machine-latency ablations, a job and
+// the same program's baseline run at serial/1 — compile to the same
+// artifact, so a server can cache and share one *core.CompiledProgram
+// across them. Key remains the full per-run address (it additionally hashes
+// trace, baseline and machine options).
+func (r *JobRequest) CompileKey() string {
+	b, err := json.Marshal(compileIdentity{
+		Bench:    r.Bench,
+		Program:  r.Program,
+		Strategy: r.Strategy,
+		Cores:    r.Cores,
+		Compiler: r.Compiler,
+	})
+	if err != nil { // canonical structs always marshal
+		panic(fmt.Sprintf("canonical compile-identity marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// MachineKey identifies the machine configuration a normalized request runs
+// on — the pooling key for warm-machine reuse. Jobs with equal MachineKey
+// run on interchangeable machines (one pooled core.Machine serves them all
+// after a Reset); program, strategy, trace and baseline are not part of it
+// because they select what runs, not the machine it runs on.
+func (r *JobRequest) MachineKey() string {
+	return fmt.Sprintf("cores=%d rs=%d ms=%d qb=%d qh=%d qc=%d",
+		r.Cores, r.Machine.RegionSyncLat, r.Machine.ModeSwitchLat,
+		r.Machine.QueueBaseLat, r.Machine.QueueHopLat, r.Machine.QueueCap)
+}
+
 // CompilerOpts lowers the request to compiler.Options (Workers is the
 // caller's choice, not the request's: it cannot affect results).
 func (r *JobRequest) CompilerOpts() compiler.Options {

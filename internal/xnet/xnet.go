@@ -132,6 +132,14 @@ func NewDirectNet(t Topology) *DirectNet {
 	return &DirectNet{T: t, wires: make([]wireSlot, t.Cores()*t.Cores()), gen: 1}
 }
 
+// Reset restores NewDirectNet's initial state, keeping the wire array.
+func (d *DirectNet) Reset() {
+	clear(d.wires)
+	d.gen = 1
+	d.cycle = 0
+	d.Transfers = 0
+}
+
 // BeginCycle clears the wires for a new lock-step cycle.
 func (d *DirectNet) BeginCycle(cycle int64) {
 	d.cycle = cycle
@@ -219,13 +227,35 @@ type QueueNet struct {
 	RecvWaits int64
 }
 
+// Queue-mode defaults (the paper's parameters). NewQueueNet applies them
+// and Reset restores them, so a reset network forgets any per-run latency
+// or capacity override.
+const (
+	DefaultBaseLat = 2
+	DefaultHopLat  = 1
+	DefaultCap     = 16
+)
+
 // NewQueueNet creates the queue-mode network with the paper's latencies and
 // a 16-entry receive queue per core.
 func NewQueueNet(t Topology) *QueueNet {
-	q := &QueueNet{T: t, BaseLat: 2, HopLat: 1, Cap: 16}
+	q := &QueueNet{T: t, BaseLat: DefaultBaseLat, HopLat: DefaultHopLat, Cap: DefaultCap}
 	q.queues = make([][]message, t.Cores())
 	q.counts = make([]int32, t.Cores()*t.Cores())
 	return q
+}
+
+// Reset restores NewQueueNet's initial state — default latencies and
+// capacity, empty queues, zeroed sequence and counters — while keeping the
+// per-destination queue backing arrays.
+func (q *QueueNet) Reset() {
+	q.BaseLat, q.HopLat, q.Cap = DefaultBaseLat, DefaultHopLat, DefaultCap
+	for i := range q.queues {
+		q.queues[i] = q.queues[i][:0]
+	}
+	clear(q.counts)
+	q.seq = 0
+	q.Messages, q.RecvWaits = 0, 0
 }
 
 // CanSend reports whether the (from, to) pair has room for another message.
