@@ -9,6 +9,9 @@
 //	voltron-bench -bench cjpeg    # restrict to one benchmark
 //	voltron-bench -smoke          # fast subset (two benchmarks, three figures)
 //	voltron-bench -j 1            # force sequential evaluation
+//	voltron-bench -select auto    # tiered strategy selection for every compile
+//	voltron-bench -agreement      # classifier-vs-measured selection agreement
+//	voltron-bench -compare-select # time figure regeneration, measured vs auto
 //	voltron-bench -evalout BENCH_eval.json   # record wall-clock per figure
 //	voltron-bench -cpuprofile cpu.pprof      # profile the run (go tool pprof)
 //	voltron-bench -memprofile mem.pprof      # heap profile at exit
@@ -25,13 +28,28 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"voltron/internal/compiler"
 	"voltron/internal/exp"
+	"voltron/internal/spec"
 )
 
 // evalTiming is one figure's wall-clock measurement for -evalout.
 type evalTiming struct {
 	Figure  string  `json:"figure"`
 	Seconds float64 `json:"seconds"`
+}
+
+// selectCompare is the -compare-select measurement recorded to -evalout:
+// the same full figure regeneration timed cold under measured and under
+// auto selection, with the agreement evaluation alongside.
+type selectCompare struct {
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	AutoSeconds     float64 `json:"auto_seconds"`
+	Speedup         float64 `json:"speedup"`
+	AutoAgreement   float64 `json:"auto_agreement"`
+	StaticAgreement float64 `json:"static_agreement"`
+	Escalated       int     `json:"escalated"`
+	Hurts           int     `json:"hurts"`
 }
 
 func main() {
@@ -50,6 +68,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scaling := fs.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 	workers := fs.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
+	selectMode := spec.SelectFlag(fs)
+	selectTh := spec.SelectThresholdFlag(fs)
+	agreement := fs.Bool("agreement", false, "evaluate classifier-vs-measured selection agreement and exit")
+	agreeRand := fs.Int("agreerand", 8, "random programs added to the agreement evaluation")
+	agreeMin := fs.Float64("agreemin", 0, "fail unless auto agreement reaches this fraction with zero never-hurts violations (0 = report only)")
+	agreeOut := fs.String("agreeout", "", "write the agreement report JSON to this file")
+	compareSelect := fs.Bool("compare-select", false, "time cold figure regeneration under measured vs auto selection")
 	evalOut := fs.String("evalout", "", "write per-figure wall-clock timings to this JSON file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -89,6 +114,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	sel, ok := spec.SelectionFor(*selectMode)
+	if !ok {
+		return fmt.Errorf("unknown selection mode %q", *selectMode)
+	}
 	s := exp.NewSuite()
 	if *bench != "" {
 		s.Benchmarks = []string{*bench}
@@ -99,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers > 0 {
 		s.Workers = *workers
 	}
+	s.Select = sel
+	s.SelectThreshold = *selectTh
 	emit := func(t *exp.Table) error {
 		if *jsonOut {
 			return t.WriteJSON(stdout)
@@ -115,6 +146,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timings = append(timings, evalTiming{Figure: name, Seconds: time.Since(start).Seconds()})
 		return nil
 	}
+	if *agreement {
+		rep, err := s.SelectionAgreement(*agreeRand)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(stdout); err != nil {
+				return err
+			}
+		} else {
+			rep.Print(stdout)
+		}
+		if err := writeAgreement(*agreeOut, rep); err != nil {
+			return err
+		}
+		return checkAgreement(rep, *agreeMin)
+	}
 	if *scaling {
 		if err := timed("scaling", func() error {
 			tab, err := s.Scaling()
@@ -125,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}); err != nil {
 			return err
 		}
-		return writeEval(*evalOut, s.Workers, timings)
+		return writeEval(*evalOut, s.Workers, timings, nil)
 	}
 	figs := []int{3, 7, 10, 11, 12, 13, 14}
 	if *smoke {
@@ -133,6 +181,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *fig != 0 {
 		figs = []int{*fig}
+	}
+	var cmp *selectCompare
+	if *compareSelect {
+		c, rep, err := compareSelection(s, figs, *workers, *agreeRand, *selectTh)
+		if err != nil {
+			return err
+		}
+		cmp = c
+		fmt.Fprintf(stdout, "cold figure regeneration: measured %.1fs, auto %.1fs (%.2fx)\n",
+			cmp.MeasuredSeconds, cmp.AutoSeconds, cmp.Speedup)
+		fmt.Fprintf(stdout, "selection agreement: auto %.1f%% (static %.1f%%), escalated %d, hurts %d\n\n",
+			100*cmp.AutoAgreement, 100*cmp.StaticAgreement, cmp.Escalated, cmp.Hurts)
+		if err := writeAgreement(*agreeOut, rep); err != nil {
+			return err
+		}
+		if err := checkAgreement(rep, *agreeMin); err != nil {
+			return err
+		}
 	}
 	for _, f := range figs {
 		if f >= 7 && f <= 9 {
@@ -167,20 +233,96 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	return writeEval(*evalOut, s.Workers, timings)
+	return writeEval(*evalOut, s.Workers, timings, cmp)
+}
+
+// compareSelection times the same cold figure regeneration twice — once
+// with measured selection, once with auto — on fresh Suites (fresh caches:
+// both runs pay every compile), then runs the agreement evaluation so the
+// speedup is reported next to the quality it costs.
+func compareSelection(s *exp.Suite, figs []int, workers, agreeRand int, threshold float64) (*selectCompare, *exp.AgreementReport, error) {
+	regen := func(mode compiler.SelectionMode) (float64, error) {
+		cs := exp.NewSuite()
+		cs.Benchmarks = s.Benchmarks
+		if workers > 0 {
+			cs.Workers = workers
+		}
+		cs.Select = mode
+		cs.SelectThreshold = threshold
+		start := time.Now()
+		for _, f := range figs {
+			if f >= 7 && f <= 9 {
+				continue // kernel microbenchmarks bypass strategy selection
+			}
+			if _, err := cs.Figure(f); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	ms, err := regen(compiler.SelectMeasured)
+	if err != nil {
+		return nil, nil, err
+	}
+	as, err := regen(compiler.SelectAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := s.SelectionAgreement(agreeRand)
+	if err != nil {
+		return nil, nil, err
+	}
+	cmp := &selectCompare{
+		MeasuredSeconds: ms, AutoSeconds: as,
+		AutoAgreement: rep.AutoAgreement, StaticAgreement: rep.StaticAgreement,
+		Escalated: rep.Escalated, Hurts: rep.Hurts,
+	}
+	if as > 0 {
+		cmp.Speedup = ms / as
+	}
+	return cmp, rep, nil
+}
+
+// writeAgreement records the agreement report (the CI artifact).
+func writeAgreement(path string, rep *exp.AgreementReport) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.WriteJSON(f)
+}
+
+// checkAgreement enforces the -agreemin gate: a minimum auto-agreement
+// fraction and the never-hurts invariant. min = 0 reports without failing.
+func checkAgreement(rep *exp.AgreementReport, min float64) error {
+	if min <= 0 {
+		return nil
+	}
+	if rep.Hurts > 0 {
+		return fmt.Errorf("never-hurts violated: %d region(s) slower than serial", rep.Hurts)
+	}
+	if rep.AutoAgreement < min {
+		return fmt.Errorf("auto agreement %.1f%% below floor %.1f%%", 100*rep.AutoAgreement, 100*min)
+	}
+	return nil
 }
 
 // writeEval records the run's timings (plus the host parallelism they were
 // measured under) so speedup claims are reproducible.
-func writeEval(path string, workers int, timings []evalTiming) error {
+func writeEval(path string, workers int, timings []evalTiming, cmp *selectCompare) error {
 	if path == "" {
 		return nil
 	}
 	out := struct {
-		HostCPUs int          `json:"host_cpus"`
-		Workers  int          `json:"workers"`
-		Figures  []evalTiming `json:"figures"`
-	}{HostCPUs: runtime.NumCPU(), Workers: workers, Figures: timings}
+		HostCPUs int            `json:"host_cpus"`
+		Workers  int            `json:"workers"`
+		Figures  []evalTiming   `json:"figures"`
+		Select   *selectCompare `json:"select_compare,omitempty"`
+	}{HostCPUs: runtime.NumCPU(), Workers: workers, Figures: timings, Select: cmp}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

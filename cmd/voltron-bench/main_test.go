@@ -95,3 +95,68 @@ func TestBadFlags(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestAgreementMode: -agreement produces the agreement report, honors the
+// -agreemin gate, and writes the -agreeout artifact.
+func TestAgreementMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "agreement.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-bench", "rawcaudio", "-agreement", "-agreerand", "1", "-agreeout", out, "-agreemin", "0.5", "-j", "1"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("agreement artifact not written: %v", err)
+	}
+	var rep struct {
+		Regions int     `json:"regions"`
+		Auto    float64 `json:"auto_agreement"`
+		Hurts   int     `json:"hurts"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regions == 0 {
+		t.Error("agreement report compared zero regions")
+	}
+	if rep.Hurts != 0 {
+		t.Errorf("never-hurts violated on the smoke subset: %d", rep.Hurts)
+	}
+	// An unreachable floor must fail the gate.
+	stdout.Reset()
+	if err := run([]string{"-bench", "rawcaudio", "-agreement", "-agreerand", "1", "-agreemin", "1.01", "-j", "1"}, &stdout, &stderr); err == nil {
+		t.Error("agreement gate above 100% passed")
+	}
+}
+
+// TestCompareSelectSmoke: -compare-select records both regeneration
+// timings and the speedup into -evalout.
+func TestCompareSelectSmoke(t *testing.T) {
+	evalOut := filepath.Join(t.TempDir(), "eval.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-smoke", "-compare-select", "-agreerand", "0", "-evalout", evalOut, "-j", "1"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	b, err := os.ReadFile(evalOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eval struct {
+		Select *struct {
+			MeasuredSeconds float64 `json:"measured_seconds"`
+			AutoSeconds     float64 `json:"auto_seconds"`
+			Speedup         float64 `json:"speedup"`
+		} `json:"select_compare"`
+	}
+	if err := json.Unmarshal(b, &eval); err != nil {
+		t.Fatal(err)
+	}
+	if eval.Select == nil {
+		t.Fatal("evalout lacks select_compare")
+	}
+	if eval.Select.MeasuredSeconds <= 0 || eval.Select.AutoSeconds <= 0 || eval.Select.Speedup <= 0 {
+		t.Errorf("degenerate comparison: %+v", *eval.Select)
+	}
+}

@@ -35,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	kernel := fs.String("kernel", "", "built-in kernel: gsm-llp, gzip-strands, gsm-ilp")
 	cores := spec.CoresFlag(fs)
 	strategy := spec.StrategyFlag(fs)
+	selectMode := spec.SelectFlag(fs)
+	selectTh := spec.SelectThresholdFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,12 +62,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
-	cp, err := compiler.Compile(p, compiler.Options{Cores: *cores, Strategy: strat})
+	sel, ok := spec.SelectionFor(*selectMode)
+	if !ok {
+		return fmt.Errorf("unknown selection mode %q", *selectMode)
+	}
+	cp, err := compiler.Compile(p, compiler.Options{
+		Cores: *cores, Strategy: strat, Selection: sel, SelectThreshold: *selectTh,
+	})
 	if err != nil {
 		return err
 	}
-	for _, r := range cp.Regions {
-		fmt.Fprintf(stdout, "=== region %q mode=%v ===\n", r.Name, r.Mode)
+	for ri, r := range cp.Regions {
+		fmt.Fprintf(stdout, "=== region %q mode=%v", r.Name, r.Mode)
+		if ri < len(cp.Selection.Regions) {
+			rs := cp.Selection.Regions[ri]
+			fmt.Fprintf(stdout, " tier=%s choice=%q", rs.Tier, rs.Choice)
+		}
+		fmt.Fprintf(stdout, " ===\n")
 		for c := 0; c < cp.Cores; c++ {
 			fmt.Fprintf(stdout, "--- core %d (%d insts) ---\n", c, len(r.Code[c]))
 			rev := map[int][]int64{}

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -64,5 +65,21 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bench", "rawcaudio", "-strategy", "magic"}, &stdout, &stderr); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestSelectFlag: the shared -select flag reaches the compiler (auto mode
+// annotates every region header with its tier) and rejects unknown modes.
+func TestSelectFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "hybrid", "-select", "auto"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "tier=") || !strings.Contains(out, "choice=") {
+		t.Errorf("auto compile dump lacks tier/choice annotations:\n%s", out)
+	}
+	if err := run([]string{"-bench", "rawcaudio", "-select", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown selection mode accepted")
 	}
 }

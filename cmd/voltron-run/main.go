@@ -39,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bench := fs.String("bench", "gsmdecode", "benchmark name (use -list)")
 	cores := spec.CoresFlag(fs)
 	strategy := spec.StrategyFlag(fs)
+	selectMode := spec.SelectFlag(fs)
+	selectTh := spec.SelectThresholdFlag(fs)
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	verbose := fs.Bool("v", false, "per-core stall breakdown")
 	tracePath := fs.String("trace", "", "write a Chrome trace (Perfetto-loadable JSON) to this file")
@@ -59,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	sel, ok := spec.SelectionFor(*selectMode)
+	if !ok {
+		return fmt.Errorf("unknown selection mode %q", *selectMode)
+	}
 	p, err := workload.Build(*bench)
 	if err != nil {
 		return err
@@ -69,8 +75,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	tracing := *tracePath != "" || *traceText != "" || *stalls
 	var tr *trace.Tracer
+	var mainCP *core.CompiledProgram
 	simulate := func(s compiler.Strategy, n int, traced bool) (*core.RunResult, error) {
-		cp, err := compiler.Compile(p, compiler.Options{Cores: n, Strategy: s, Profile: pr, Workers: *workers})
+		cp, err := compiler.Compile(p, compiler.Options{
+			Cores: n, Strategy: s, Profile: pr, Workers: *workers,
+			Selection: sel, SelectThreshold: *selectTh,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -78,6 +88,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if traced && tracing {
 			tr = trace.New()
 			cfg.Tracer = tr
+		}
+		if traced {
+			mainCP = cp
 		}
 		return core.New(cfg).Run(cp)
 	}
@@ -103,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "mode occupancy: %.0f%% coupled / %.0f%% decoupled; spawns=%d tm-conflicts=%d\n",
 		100*res.ModeFraction(stats.ModeCoupled), 100*res.ModeFraction(stats.ModeDecoupled),
 		res.Spawns, res.TMConflicts)
+	if ssum := mainCP.Selection; ssum.Mode != "" && sel != compiler.SelectMeasured {
+		fmt.Fprintf(stdout, "selection: %s (%d static, %d escalated, %d measured)\n",
+			ssum.Mode, ssum.Static, ssum.Escalated, ssum.Measured)
+	}
 	if *verbose {
 		for i := range res.Run.Cores {
 			c := &res.Run.Cores[i]

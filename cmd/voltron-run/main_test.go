@@ -128,3 +128,18 @@ func TestErrors(t *testing.T) {
 		t.Error("unknown benchmark accepted")
 	}
 }
+
+// TestSelectFlag: the shared -select flag reaches the compiler (non-default
+// modes print the selection summary line) and rejects unknown modes.
+func TestSelectFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "rawcaudio", "-cores", "2", "-strategy", "hybrid", "-select", "auto", "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if out := stdout.String(); !strings.Contains(out, "selection: ") {
+		t.Errorf("auto run lacks the selection summary line:\n%s", out)
+	}
+	if err := run([]string{"-bench", "rawcaudio", "-select", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown selection mode accepted")
+	}
+}

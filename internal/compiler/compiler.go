@@ -48,6 +48,43 @@ func (s Strategy) String() string {
 // value) to request "no gate at all".
 const NoThreshold = -1.0
 
+// SelectionMode picks how the multicore strategies (Hybrid and the Force*
+// techniques) decide each region's lowering.
+type SelectionMode int
+
+const (
+	// SelectMeasured simulates every candidate lowering in the context of
+	// the program compiled so far (paper §4.2). The most faithful and the
+	// most expensive mode; the default.
+	SelectMeasured SelectionMode = iota
+	// SelectStatic trusts the static cycle estimator for every region —
+	// zero selection simulations (the ablation mode).
+	SelectStatic
+	// SelectAuto runs the tiered classifier: confident regions are decided
+	// statically, low-confidence regions escalate to measured selection.
+	SelectAuto
+)
+
+// String names the selection mode.
+func (m SelectionMode) String() string {
+	switch m {
+	case SelectStatic:
+		return "static"
+	case SelectAuto:
+		return "auto"
+	}
+	return "measured"
+}
+
+// DefaultSelectThreshold is the classifier-confidence floor below which
+// SelectAuto escalates a region to measured selection. Confidence is the
+// relative margin between the best and runner-up static estimates, so 0.08
+// escalates regions whose ranking is decided by less than an 8% margin.
+// Tuned on the 25-workload suite: wrong static picks cluster below 0.077
+// (single-vs-parallel calls the estimator cannot settle) while correct
+// picks start at 0.089, so 0.08 splits the gap.
+const DefaultSelectThreshold = 0.08
+
 // Options configures compilation.
 type Options struct {
 	Cores    int
@@ -79,7 +116,16 @@ type Options struct {
 	ForcePredSend bool
 	// StaticSelection makes Hybrid pick strategies from the static cycle
 	// estimator instead of by measurement (ablation; cheaper compiles).
+	// Deprecated: set Selection to SelectStatic instead; this flag is kept
+	// for spec compatibility and maps onto it.
 	StaticSelection bool
+	// Selection picks how per-region strategy selection runs: measured
+	// (default), static, or the tiered auto mode that decides confident
+	// regions statically and escalates only the rest.
+	Selection SelectionMode
+	// SelectThreshold is the classifier-confidence floor for SelectAuto.
+	// 0 means DefaultSelectThreshold; NoThreshold trusts every static pick.
+	SelectThreshold float64
 }
 
 // withDefaults fills unset thresholds (0 = default) and resolves the
@@ -95,6 +141,10 @@ func (o Options) withDefaults() Options {
 	o.DSWPThreshold = resolveThreshold(o.DSWPThreshold, 1.25)
 	o.DOALLTripThreshold = resolveThreshold(o.DOALLTripThreshold, 8)
 	o.MissStallThreshold = resolveThreshold(o.MissStallThreshold, 0.15)
+	o.SelectThreshold = resolveThreshold(o.SelectThreshold, DefaultSelectThreshold)
+	if o.StaticSelection && o.Selection == SelectMeasured {
+		o.Selection = SelectStatic
+	}
 	return o
 }
 
@@ -131,9 +181,20 @@ func Compile(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
 		}
 		opts.Profile = pr
 	}
-	if opts.Cores > 1 && !opts.StaticSelection &&
+	if opts.Cores > 1 &&
 		(opts.Strategy == Hybrid || opts.Strategy == ForceILP || opts.Strategy == ForceFTLP) {
-		return compileMeasured(p, opts)
+		switch opts.Selection {
+		case SelectStatic:
+			// Static mode is auto with the confidence gate disabled: every
+			// classifier pick is trusted, nothing escalates, zero selection
+			// simulations.
+			opts.SelectThreshold = NoThreshold
+			return compileAuto(p, opts)
+		case SelectAuto:
+			return compileAuto(p, opts)
+		default:
+			return compileMeasured(p, opts)
+		}
 	}
 	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
 	for _, r := range p.Regions {

@@ -36,74 +36,131 @@ import (
 // overlap (coupled ILP and fine-grain TLP; DOALL is taken without a race).
 const maxCandidatesPerRegion = 2
 
+// regionCandidate is one measurable lowering with the metadata selection
+// needs: which technique it embodies and its static cycle estimate (the
+// classifier's ranking signal).
+type regionCandidate struct {
+	cr     *core.CompiledRegion
+	choice Choice
+	est    float64
+}
+
 // regionPlan is the precomputed selection work for one region.
 type regionPlan struct {
 	small bool
+	// serial is the always-competing baseline lowering; serialEst is its
+	// static estimate.
+	serial    *core.CompiledRegion
+	serialEst float64
 	// doall is the statistical-DOALL lowering, taken outright (Hybrid).
 	doall *core.CompiledRegion
-	// err is a candidate-generation failure that must abort compilation,
-	// reported in region order.
+	// err is a generation failure that must abort compilation, reported in
+	// region order.
 	err error
 	// candidates in fixed order: coupled ILP first, then fine-grain TLP.
-	candidates []*core.CompiledRegion
+	candidates []regionCandidate
+}
+
+// lowering returns the plan's compiled region for a choice (serial when the
+// choice has no candidate, which cannot happen for classifier picks).
+func (pl *regionPlan) lowering(c Choice) *core.CompiledRegion {
+	if c == ChoseLLP && pl.doall != nil {
+		return pl.doall
+	}
+	for _, cand := range pl.candidates {
+		if cand.choice == c {
+			return cand.cr
+		}
+	}
+	return pl.serial
 }
 
 func compileMeasured(p *ir.Program, opts Options) (*core.CompiledProgram, error) {
-	cp := &core.CompiledProgram{Name: p.Name, Cores: opts.Cores, Src: p}
-	for _, r := range p.Regions {
-		cr, err := genSerial(r, opts.Cores)
-		if err != nil {
-			return nil, fmt.Errorf("region %q: %w", r.Name, err)
-		}
-		cp.Regions = append(cp.Regions, cr)
-	}
-	// A failed baseline is a hard error: without serial region times no
-	// candidate could ever be compared against serial, and silently
-	// letting the first non-failing candidate win would ship a lowering
-	// that was never measured to help. Selection only reads RegionCycles,
-	// so the stall-breakdown accounting is skipped (NoStats).
-	baseCfg := core.DefaultConfig(opts.Cores)
-	baseCfg.NoStats = true
-	baseline, err := core.New(baseCfg).Run(cp)
-	if err != nil {
-		return nil, fmt.Errorf("%s: serial baseline: %w", p.Name, err)
-	}
 	plans := planRegions(p, opts)
+	cp := &core.CompiledProgram{
+		Name: p.Name, Cores: opts.Cores, Src: p,
+		Regions: make([]*core.CompiledRegion, len(p.Regions)),
+	}
+	cp.Selection = core.SelectionSummary{
+		Mode:    SelectMeasured.String(),
+		Regions: make([]core.RegionSelection, len(p.Regions)),
+	}
+	for i, pl := range plans {
+		if pl.err != nil {
+			return nil, pl.err
+		}
+		cp.Regions[i] = pl.serial
+	}
+	baseline, err := runSerialBaseline(cp)
+	if err != nil {
+		return nil, err
+	}
 	pool := newEvalPool(opts, cp)
 	defer pool.close()
 	for i := range p.Regions {
 		pl := plans[i]
-		if pl.err != nil {
-			return nil, pl.err
-		}
+		sel := &cp.Selection.Regions[i]
+		*sel = core.RegionSelection{Tier: TierMeasured.String(), Choice: ChoseSingle.String(), Confidence: 1}
 		if pl.small {
+			sel.Tier = TierSmall.String()
 			continue // not worth parallelizing; stays serial
 		}
 		if pl.doall != nil {
 			cp.Regions[i] = pl.doall
+			*sel = core.RegionSelection{Tier: TierDOALL.String(), Choice: ChoseLLP.String(), Confidence: 1}
 			pool.commit(i, pl.doall)
 			continue
 		}
 		if len(pl.candidates) == 0 {
 			continue
 		}
-		cycles := pool.measure(i, pl.candidates)
-		best, bestCycles := cp.Regions[i], baseline.RegionCycles[i]
-		for k, cand := range pl.candidates {
-			// Fixed candidate order: a candidate must strictly beat the
-			// best so far, so ties keep the earlier entry (serial first) —
-			// exactly the sequential pipeline's tie-breaking.
-			if cycles[k] >= 0 && cycles[k] < bestCycles {
-				best, bestCycles = cand, cycles[k]
-			}
-		}
-		cp.Regions[i] = best
-		pool.commit(i, best)
+		sel.Choice = measureRegion(pool, baseline.RegionCycles[i], cp, i, pl).String()
+		cp.Selection.Measured++
 	}
 	if err := cp.Validate(); err != nil {
 		return nil, err
 	}
 	return cp, nil
+}
+
+// runSerialBaseline simulates the all-serial lowering once — one
+// full-program run yields every region's serial time at once. A failed
+// baseline is a hard error: without serial region times no candidate could
+// ever be compared against serial, and silently letting the first
+// non-failing candidate win would ship a lowering that was never measured
+// to help. Selection only reads RegionCycles, so the stall-breakdown
+// accounting is skipped (NoStats).
+func runSerialBaseline(cp *core.CompiledProgram) (*core.RunResult, error) {
+	cfg := core.DefaultConfig(cp.Cores)
+	cfg.NoStats = true
+	res, err := core.New(cfg).Run(cp)
+	if err != nil {
+		return nil, fmt.Errorf("%s: serial baseline: %w", cp.Name, err)
+	}
+	return res, nil
+}
+
+// measureRegion simulates one region's candidates against the committed
+// background, installs the winner into cp, and returns its choice. A
+// candidate must strictly beat the best so far in fixed candidate order, so
+// ties keep the earlier entry (serial first) — exactly the sequential
+// pipeline's tie-breaking. serialCycles is the region's time in the
+// all-serial baseline.
+func measureRegion(pool *evalPool, serialCycles int64, cp *core.CompiledProgram, i int, pl *regionPlan) Choice {
+	crs := make([]*core.CompiledRegion, len(pl.candidates))
+	for k := range pl.candidates {
+		crs[k] = pl.candidates[k].cr
+	}
+	cycles := pool.measure(i, crs)
+	best, bestCycles, bestChoice := pl.serial, serialCycles, ChoseSingle
+	for k, cand := range pl.candidates {
+		if cycles[k] >= 0 && cycles[k] < bestCycles {
+			best, bestCycles, bestChoice = cand.cr, cycles[k], cand.choice
+		}
+	}
+	cp.Regions[i] = best
+	pool.commit(i, best)
+	return bestChoice
 }
 
 // planRegions generates every region's candidate lowerings concurrently
@@ -127,9 +184,18 @@ func planRegions(p *ir.Program, opts Options) []*regionPlan {
 	return plans
 }
 
-// planRegion computes one region's selection plan.
+// planRegion computes one region's selection plan: the serial baseline
+// lowering, the outright DOALL take (Hybrid), and the measurable candidates
+// with their static estimates.
 func planRegion(r *ir.Region, opts Options) *regionPlan {
 	pl := &regionPlan{}
+	serial, err := genSerial(r, opts.Cores)
+	if err != nil {
+		pl.err = fmt.Errorf("region %q: %w", r.Name, err)
+		return pl
+	}
+	pl.serial = serial
+	pl.serialEst = EstimateCycles(serial, r, opts.Profile)
 	pl.small = opts.Profile != nil && opts.Profile.RegionOps != nil &&
 		r.ID < len(opts.Profile.RegionOps) && opts.Profile.RegionOps[r.ID] < minRegionOps
 	if pl.small {
@@ -145,13 +211,16 @@ func planRegion(r *ir.Region, opts Options) *regionPlan {
 		}
 	}
 	if opts.Strategy == Hybrid || opts.Strategy == ForceILP {
-		if coupled, _, _, err := genCoupledCandidate(r, opts); err == nil {
-			pl.candidates = append(pl.candidates, coupled)
+		if coupled, target, upr, err := genCoupledCandidate(r, opts); err == nil {
+			pl.candidates = append(pl.candidates,
+				regionCandidate{cr: coupled, choice: ChoseILP, est: EstimateCycles(coupled, target, upr)})
 		}
 	}
 	if opts.Strategy == Hybrid || opts.Strategy == ForceFTLP {
 		if ftlp, err := genFTLP(r, opts); err == nil {
-			pl.candidates = append(pl.candidates, ftlp)
+			est := EstimateCycles(ftlp, r, opts.Profile) + EstimateQueueComm(ftlp, r, opts.Profile)
+			pl.candidates = append(pl.candidates,
+				regionCandidate{cr: ftlp, choice: ChoseFTLP, est: est})
 		}
 	}
 	return pl

@@ -195,6 +195,36 @@ type CompiledProgram struct {
 	Regions []*CompiledRegion
 	// Src provides the data layout and initial memory image.
 	Src *ir.Program
+	// Selection records how per-region strategy selection decided each
+	// lowering. Execution never reads it; the serving layer exposes it
+	// (selection metrics, the X-Voltron-Select header) and the
+	// selection-agreement experiments consume it.
+	Selection SelectionSummary
+}
+
+// SelectionSummary describes one compile's per-region selection outcomes.
+type SelectionSummary struct {
+	// Mode is "measured", "static" or "escalated" ("" when compilation ran
+	// no per-region selection, e.g. serial or single-core compiles).
+	Mode string
+	// Static counts regions the classifier decided without simulation,
+	// Escalated those it sent to measured selection on low confidence,
+	// Measured those decided by simulation under measured mode.
+	Static, Escalated, Measured int
+	// Regions parallels CompiledProgram.Regions.
+	Regions []RegionSelection
+}
+
+// RegionSelection is one region's selection outcome.
+type RegionSelection struct {
+	// Tier is the classifier tier ("small", "doall", "easy", "hard",
+	// "measured", "rechecked" — compiler.Tier names).
+	Tier string
+	// Choice names the selected technique (compiler.Choice names).
+	Choice string
+	// Confidence is the classifier's relative-margin score in [0, 1]
+	// (1 for outcomes that are safe by construction).
+	Confidence float64
 }
 
 // Validate checks all regions.

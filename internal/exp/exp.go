@@ -121,8 +121,15 @@ type Suite struct {
 	// runtime.GOMAXPROCS(0); set it before the first Run. 1 gives fully
 	// sequential evaluation. Results are identical for every value.
 	Workers int
-	semOnce sync.Once
-	sem     chan struct{}
+	// Select picks the compiler's strategy-selection mode for every compile
+	// (measured, the default; static; or the tiered auto mode) and
+	// SelectThreshold auto mode's confidence floor (0 = compiler default).
+	// Set before the first Run: runs are cached by (bench, strategy, cores)
+	// only, so one Suite evaluates one selection configuration.
+	Select          compiler.SelectionMode
+	SelectThreshold float64
+	semOnce         sync.Once
+	sem             chan struct{}
 }
 
 type runKey struct {
@@ -243,6 +250,7 @@ func (s *Suite) Run(bench string, strat compiler.Strategy, cores int) (*core.Run
 		defer s.release()
 		cp, err := compiler.Compile(p, compiler.Options{
 			Cores: cores, Strategy: strat, Profile: pr, Workers: s.workers(),
+			Selection: s.Select, SelectThreshold: s.SelectThreshold,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%v/%d: %w", bench, strat, cores, err)

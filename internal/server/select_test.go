@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The tiered-selection surface: the X-Voltron-Select header, the /metrics
+// per-tier counters, the traced-auto recheck path, and the artifact-cache
+// replace primitive the feedback loop depends on.
+
+// autoJob is tinyJob compiled under tiered selection.
+func autoJob() string {
+	return strings.Replace(tinyJob(), `"strategy": "llp", "cores": 2`,
+		`"strategy": "hybrid", "cores": 2, "compiler": {"select": "auto"}`, 1)
+}
+
+func metricsOf(t *testing.T, url string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSelectHeaderAndCounters: a fresh compile reports how selection
+// decided its artifact, and the per-tier counters advance with it.
+func TestSelectHeaderAndCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	before := metricsOf(t, ts.URL)
+
+	// Default mode: measured selection, reported as such.
+	resp, b := postJob(t, ts, strings.Replace(tinyJob(), `"strategy": "llp"`, `"strategy": "hybrid"`, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Voltron-Select"); got != "measured" {
+		t.Errorf("measured job X-Voltron-Select = %q, want %q", got, "measured")
+	}
+
+	// Auto mode: the classifier decides (possibly escalating), the counters
+	// record each region's tier.
+	resp, b = postJob(t, ts, autoJob())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Voltron-Select"); got != "static" && got != "escalated" {
+		t.Errorf("auto job X-Voltron-Select = %q, want static or escalated", got)
+	}
+	after := metricsOf(t, ts.URL)
+	decided := (after.SelectStatic - before.SelectStatic) + (after.SelectEscalated - before.SelectEscalated)
+	if decided <= 0 {
+		t.Errorf("select counters did not advance: static %d->%d escalated %d->%d",
+			before.SelectStatic, after.SelectStatic, before.SelectEscalated, after.SelectEscalated)
+	}
+
+	// A repeat of the same job is a result-cache hit: it never reaches the
+	// compile stage, so it reports no selection mode.
+	resp, _ = postJob(t, ts, autoJob())
+	if resp.Header.Get("X-Voltron-Cache") != "hit" {
+		t.Fatalf("repeat was not a cache hit")
+	}
+	if got := resp.Header.Get("X-Voltron-Select"); got != "" {
+		t.Errorf("cache hit carries X-Voltron-Select = %q, want absent", got)
+	}
+}
+
+// TestTracedAutoJobRecheck drives the stall-report feedback trigger: a
+// traced auto job runs the recheck after its fresh compile. The tiny
+// program's picks are not contradicted, so nothing is re-selected — the
+// point is that the trigger path completes and the counter stays exact.
+func TestTracedAutoJobRecheck(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	traced := strings.Replace(autoJob(), `"compiler": {"select": "auto"}`,
+		`"compiler": {"select": "auto"}, "trace": true`, 1)
+	resp, b := postJob(t, ts, traced)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+	}
+	jr := decodeJob(t, b)
+	if jr.TotalCycles == 0 {
+		t.Error("traced auto job reported zero cycles")
+	}
+	m := metricsOf(t, ts.URL)
+	if m.SelectReselected != 0 {
+		t.Errorf("select_reselected_total = %d, want 0 (nothing contradicted)", m.SelectReselected)
+	}
+	// The artifact stayed cached under its key: a repeat is a hit and the
+	// recheck does not run again.
+	resp, _ = postJob(t, ts, traced)
+	if resp.Header.Get("X-Voltron-Cache") != "hit" {
+		t.Error("repeat of traced auto job missed the result cache")
+	}
+}
+
+// TestCacheReplace covers the primitive the feedback loop uses to swap a
+// re-selected artifact into the compile cache.
+func TestCacheReplace(t *testing.T) {
+	ctx := context.Background()
+	c := newSFCache[string](2)
+
+	// Replace of a completed entry: later reads see the new value as a hit.
+	if _, _, err := c.get(ctx, "k", func() (string, error) { return "old", nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.replace("k", "new")
+	v, st, err := c.get(ctx, "k", func() (string, error) { return "recomputed", nil })
+	if err != nil || st != cacheHit || v != "new" {
+		t.Errorf("after replace: got %q/%v/%v, want new/hit/nil", v, st, err)
+	}
+
+	// Replace of an absent key inserts it.
+	c.replace("fresh", "v")
+	if v, st, _ := c.get(ctx, "fresh", func() (string, error) { return "x", nil }); st != cacheHit || v != "v" {
+		t.Errorf("replace on absent key: got %q/%v, want v/hit", v, st)
+	}
+
+	// Replace of an in-flight entry is a no-op: the claimant's result wins.
+	claim := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.get(ctx, "flight", func() (string, error) {
+			close(claim)
+			<-release
+			return "claimant", nil
+		})
+	}()
+	<-claim
+	c.replace("flight", "intruder")
+	close(release)
+	<-done
+	if v, st, _ := c.get(ctx, "flight", func() (string, error) { return "x", nil }); st != cacheHit || v != "claimant" {
+		t.Errorf("in-flight replace: got %q/%v, want claimant/hit", v, st)
+	}
+
+	// The LRU bound still holds through replaces.
+	c.replace("a", "1")
+	c.replace("b", "2")
+	c.replace("c", "3")
+	if n := c.len(); n > 2 {
+		t.Errorf("cache grew past its bound: %d entries, max 2", n)
+	}
+}

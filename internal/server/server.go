@@ -83,9 +83,15 @@ type Server struct {
 	compileHits    stats.Counter
 	compileMisses  stats.Counter
 	compileDeduped stats.Counter
-	errorsN        stats.Counter
-	canceled       stats.Counter
-	latency        map[string]*stats.Histogram
+	// Tiered strategy selection: regions decided statically by the
+	// classifier, regions escalated to measured selection, and regions
+	// re-selected by the stall-report agreement check (Recheck).
+	selectStatic    stats.Counter
+	selectEscalated stats.Counter
+	selectRechecks  stats.Counter
+	errorsN         stats.Counter
+	canceled        stats.Counter
+	latency         map[string]*stats.Histogram
 }
 
 // New creates a Server.
@@ -200,16 +206,23 @@ type MetricsSnapshot struct {
 	// Machine-pool effectiveness: a hit reused (and reset) a warm machine,
 	// a "new" built one from scratch. BatchedRuns counts simulations drained
 	// on another request's worker slot (homogeneous-job batching).
-	MachinePoolHits   int64                              `json:"machine_pool_hits"`
-	MachinePoolResets int64                              `json:"machine_pool_resets"`
-	MachinePoolNews   int64                              `json:"machine_pool_news"`
-	MachinePoolIdle   int                                `json:"machine_pool_idle"`
-	BatchedRuns       int64                              `json:"batched_runs"`
-	Errors            int64                              `json:"errors"`
-	Canceled          int64                              `json:"canceled"`
-	QueueDepth        int64                              `json:"queue_depth"`
-	InFlight          int64                              `json:"in_flight"`
-	Latency           map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
+	MachinePoolHits   int64 `json:"machine_pool_hits"`
+	MachinePoolResets int64 `json:"machine_pool_resets"`
+	MachinePoolNews   int64 `json:"machine_pool_news"`
+	MachinePoolIdle   int   `json:"machine_pool_idle"`
+	BatchedRuns       int64 `json:"batched_runs"`
+	// Tiered strategy selection over all compiles this process ran: regions
+	// the classifier decided without simulation, regions it escalated to
+	// measured selection, and regions re-selected because a traced run's
+	// stall profile contradicted the static pick.
+	SelectStatic     int64                              `json:"select_static_total"`
+	SelectEscalated  int64                              `json:"select_escalated_total"`
+	SelectReselected int64                              `json:"select_reselected_total"`
+	Errors           int64                              `json:"errors"`
+	Canceled         int64                              `json:"canceled"`
+	QueueDepth       int64                              `json:"queue_depth"`
+	InFlight         int64                              `json:"in_flight"`
+	Latency          map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
 }
 
 // Metrics returns a point-in-time snapshot of the service counters.
@@ -232,6 +245,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		MachinePoolNews:     s.pool.news.Value(),
 		MachinePoolIdle:     s.pool.size(),
 		BatchedRuns:         s.batch.batched.Value(),
+		SelectStatic:        s.selectStatic.Value(),
+		SelectEscalated:     s.selectEscalated.Value(),
+		SelectReselected:    s.selectRechecks.Value(),
 		Errors:              s.errorsN.Value(),
 		Canceled:            s.canceled.Value(),
 		QueueDepth:          s.batch.queued.Value(),
@@ -310,7 +326,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	startedAt := time.Now()
-	body, status, cstat, compiled, err := s.jobBody(ctx, req)
+	body, status, cstat, compiled, selMode, err := s.jobBody(ctx, req)
 	switch status {
 	case cacheHit:
 		s.hits.Inc()
@@ -343,6 +359,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// cache miss) reports how that stage was satisfied; a result hit or
 		// dedup never consulted the artifact cache.
 		w.Header().Set("X-Voltron-Compile-Cache", cstat.String())
+		if selMode != "" {
+			// How per-region strategy selection decided this job's artifact:
+			// "measured", "static" (every region decided by the classifier) or
+			// "escalated" (classifier plus measured fallback for low-confidence
+			// or stall-contradicted regions). Absent for compiles that run no
+			// selection (serial, single-core).
+			w.Header().Set("X-Voltron-Select", selMode)
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
@@ -351,26 +375,27 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // jobBody resolves one normalized job to its rendered response body via
 // the content-addressed cache. compiled reports whether this request ran
 // the compile stage itself (i.e. the result lookup missed), in which case
-// compile says how the artifact cache satisfied it.
-func (s *Server) jobBody(ctx context.Context, req *JobRequest) (body []byte, status cacheStatus, compile cacheStatus, compiled bool, err error) {
+// compile says how the artifact cache satisfied it and selMode how strategy
+// selection decided the artifact.
+func (s *Server) jobBody(ctx context.Context, req *JobRequest) (body []byte, status cacheStatus, compile cacheStatus, compiled bool, selMode string, err error) {
 	key := req.Key()
 	body, status, err = s.cache.get(ctx, key, func() ([]byte, error) {
-		resp, cstat, err := s.runJob(ctx, req, key)
+		resp, cstat, mode, err := s.runJob(ctx, req, key)
 		if err != nil {
 			return nil, err
 		}
-		compile, compiled = cstat, true
+		compile, compiled, selMode = cstat, true, mode
 		return json.Marshal(resp)
 	})
-	return body, status, compile, compiled, err
+	return body, status, compile, compiled, selMode, err
 }
 
 // runJob executes one normalized job (and, when asked, its serial
 // baseline) and assembles the response.
-func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, cacheStatus, error) {
-	res, tr, cstat, err := s.simulate(ctx, req)
+func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobResponse, cacheStatus, string, error) {
+	res, tr, cstat, selMode, err := s.simulate(ctx, req)
 	if err != nil {
-		return nil, cstat, err
+		return nil, cstat, selMode, err
 	}
 	resp := &JobResponse{
 		SchemaVersion: spec.SchemaVersion,
@@ -408,7 +433,7 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 		// computation, so concurrent identical traced jobs render once.
 		var buf bytes.Buffer
 		if err := tr.WriteChrome(&buf); err != nil {
-			return nil, cstat, fmt.Errorf("rendering trace: %w", err)
+			return nil, cstat, selMode, fmt.Errorf("rendering trace: %w", err)
 		}
 		s.traces.put(key, buf.Bytes())
 		resp.TraceURL = "/v1/traces/" + key
@@ -422,20 +447,20 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 		// job's timeline, not the baseline's.
 		base := *req
 		base.Strategy, base.Cores, base.Baseline, base.Trace = "serial", 1, false, false
-		body, _, _, _, err := s.jobBody(ctx, &base)
+		body, _, _, _, _, err := s.jobBody(ctx, &base)
 		if err != nil {
-			return nil, cstat, fmt.Errorf("baseline: %w", err)
+			return nil, cstat, selMode, fmt.Errorf("baseline: %w", err)
 		}
 		var bresp JobResponse
 		if err := json.Unmarshal(body, &bresp); err != nil {
-			return nil, cstat, fmt.Errorf("baseline: %w", err)
+			return nil, cstat, selMode, fmt.Errorf("baseline: %w", err)
 		}
 		resp.BaselineCycles = bresp.TotalCycles
 		if res.TotalCycles > 0 {
 			resp.Speedup = float64(bresp.TotalCycles) / float64(res.TotalCycles)
 		}
 	}
-	return resp, cstat, nil
+	return resp, cstat, selMode, nil
 }
 
 // simulate runs one normalized job through the two-stage pipeline. Stage
@@ -446,8 +471,10 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 // under a bounded worker slot (the batcher); waiting for either stage
 // respects ctx, so a canceled request never occupies (or leaks) a slot.
 // When the request asks for a trace, the returned tracer holds the run's
-// event stream. The returned cacheStatus says how stage one was satisfied.
-func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, *trace.Tracer, cacheStatus, error) {
+// event stream. The returned cacheStatus says how stage one was satisfied
+// and the string how strategy selection decided the artifact
+// (core.SelectionSummary.Mode; "" when no selection ran).
+func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult, *trace.Tracer, cacheStatus, string, error) {
 	var (
 		p   *ir.Program
 		pr  *prof.Profile
@@ -455,13 +482,13 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 	)
 	if req.Bench != "" {
 		if p, err = s.suite.Program(req.Bench); err != nil {
-			return nil, nil, cacheMiss, err
+			return nil, nil, cacheMiss, "", err
 		}
 		if pr, err = s.suite.Profile(req.Bench); err != nil {
-			return nil, nil, cacheMiss, err
+			return nil, nil, cacheMiss, "", err
 		}
 	} else if p, err = req.Program.Build(); err != nil {
-		return nil, nil, cacheMiss, err
+		return nil, nil, cacheMiss, "", err
 	}
 
 	ckey := req.CompileKey()
@@ -485,10 +512,14 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 		s.compileDeduped.Inc()
 	}
 	if err != nil {
-		return nil, nil, cstat, err
+		return nil, nil, cstat, "", err
+	}
+	if cstat == cacheMiss {
+		s.selectStatic.Add(int64(cp.Selection.Static))
+		s.selectEscalated.Add(int64(cp.Selection.Escalated))
 	}
 	if err := ctx.Err(); err != nil { // compile finished after cancellation
-		return nil, nil, cstat, err
+		return nil, nil, cstat, cp.Selection.Mode, err
 	}
 	var tr *trace.Tracer
 	if req.Trace {
@@ -501,9 +532,61 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 		cp:    cp,
 	})
 	if err != nil {
-		return nil, nil, cstat, err
+		return nil, nil, cstat, cp.Selection.Mode, err
 	}
-	return res, tr, cstat, nil
+	if tr != nil && cstat == cacheMiss && req.Compiler.Select == "auto" && cp.Selection.Static > 0 {
+		// Stall-report feedback (the online agreement check): the request
+		// that compiled an auto-selected artifact and traced its run re-runs
+		// measured selection for every statically decided region whose
+		// realized stall profile contradicts the classifier. A corrected
+		// artifact replaces the cached one, so every later job — traced or
+		// not — runs the re-selected program; the traced result itself is
+		// re-simulated so the response reflects what the cache now holds.
+		cp2, res2, tr2, err := s.recheck(ctx, req, p, pr, ckey, cp, tr.Report())
+		if err != nil {
+			return nil, nil, cstat, cp.Selection.Mode, err
+		}
+		if cp2 != nil {
+			cp, res, tr = cp2, res2, tr2
+		}
+	}
+	return res, tr, cstat, cp.Selection.Mode, nil
+}
+
+// recheck runs compiler.Recheck under a compile slot (re-selection
+// simulates candidates — compile-stage work) and, when any region was
+// re-selected, replaces the cached artifact and re-simulates the job with a
+// fresh tracer. Returns nils when the report confirmed every static pick.
+func (s *Server) recheck(ctx context.Context, req *JobRequest, p *ir.Program, pr *prof.Profile,
+	ckey string, cp *core.CompiledProgram, rep *trace.Report) (*core.CompiledProgram, *core.RunResult, *trace.Tracer, error) {
+	select {
+	case s.compileSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, nil, fmt.Errorf("waiting for a compile slot: %w", ctx.Err())
+	}
+	opts := req.CompilerOpts()
+	opts.Profile = pr
+	cp2, reselected, err := compiler.Recheck(p, cp, rep, opts)
+	<-s.compileSem
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("selection recheck: %w", err)
+	}
+	if len(reselected) == 0 {
+		return nil, nil, nil, nil
+	}
+	s.selectRechecks.Add(int64(len(reselected)))
+	s.artifacts.replace(ckey, cp2)
+	tr := trace.New()
+	res, err := s.batch.run(ctx, &runReq{
+		batch: ckey,
+		pool:  req.MachineKey(),
+		cfg:   req.MachineConfig(tr),
+		cp:    cp2,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cp2, res, tr, nil
 }
 
 // handleFigure regenerates one paper figure through the shared suite. The

@@ -32,6 +32,9 @@ const SchemaVersion = 1
 const (
 	DefaultStrategy = "hybrid"
 	DefaultCores    = 4
+	// DefaultSelect is the default strategy-selection mode: full measured
+	// selection (paper §4.2), the most faithful and the most expensive.
+	DefaultSelect = "measured"
 	// MaxCores bounds the machine width of one job.
 	MaxCores = 16
 )
@@ -72,7 +75,15 @@ type CompilerOptions struct {
 	MissStallThreshold float64 `json:"miss_stall_threshold,omitempty"`
 	DisableEBUGWeights bool    `json:"disable_ebug_weights,omitempty"`
 	ForcePredSend      bool    `json:"force_pred_send,omitempty"`
-	StaticSelection    bool    `json:"static_selection,omitempty"`
+	// StaticSelection is the deprecated alias of select=static; Normalize
+	// folds it into Select so both spellings share one cache entry.
+	StaticSelection bool `json:"static_selection,omitempty"`
+	// Select is the strategy-selection mode: measured|static|auto.
+	// Defaults to measured.
+	Select string `json:"select,omitempty"`
+	// SelectThreshold is auto mode's classifier-confidence floor in [0, 1].
+	// 0 means the compiler default; negative trusts every static pick.
+	SelectThreshold float64 `json:"select_threshold,omitempty"`
 }
 
 // MachineOptions overrides core.DefaultConfig. Zero means the default.
@@ -205,6 +216,27 @@ func (r *JobRequest) Normalize(known func(bench string) bool) error {
 	if r.Cores < 1 || r.Cores > MaxCores {
 		return fmt.Errorf("cores = %d out of range [1, %d]", r.Cores, MaxCores)
 	}
+	if r.Compiler.StaticSelection {
+		// Deprecated alias: fold into the canonical field so both spellings
+		// normalize — and content-address — identically.
+		if r.Compiler.Select == "" {
+			r.Compiler.Select = "static"
+		}
+		r.Compiler.StaticSelection = false
+	}
+	if r.Compiler.Select == "" {
+		r.Compiler.Select = DefaultSelect
+	}
+	if _, ok := SelectionFor(r.Compiler.Select); !ok {
+		return fmt.Errorf("unknown selection mode %q (want %s)", r.Compiler.Select, selectNames())
+	}
+	if r.Compiler.SelectThreshold > 1 {
+		return fmt.Errorf("select_threshold = %v out of range (confidence is in [0, 1]; negative disables the gate)",
+			r.Compiler.SelectThreshold)
+	}
+	if r.Compiler.SelectThreshold < 0 {
+		r.Compiler.SelectThreshold = -1 // canonical "no gate"
+	}
 	return nil
 }
 
@@ -325,6 +357,7 @@ func (r *JobRequest) MachineKey() string {
 // caller's choice, not the request's: it cannot affect results).
 func (r *JobRequest) CompilerOpts() compiler.Options {
 	s, _ := StrategyFor(r.Strategy)
+	sel, _ := SelectionFor(r.Compiler.Select) // "" maps to measured
 	return compiler.Options{
 		Cores:              r.Cores,
 		Strategy:           s,
@@ -334,6 +367,8 @@ func (r *JobRequest) CompilerOpts() compiler.Options {
 		DisableEBUGWeights: r.Compiler.DisableEBUGWeights,
 		ForcePredSend:      r.Compiler.ForcePredSend,
 		StaticSelection:    r.Compiler.StaticSelection,
+		Selection:          sel,
+		SelectThreshold:    r.Compiler.SelectThreshold,
 		Workers:            1,
 	}
 }
@@ -444,6 +479,35 @@ func strategyNames() string {
 	return strings.Join(names, "|")
 }
 
+// selectTable orders the selection modes as documented.
+var selectTable = []struct {
+	name string
+	m    compiler.SelectionMode
+}{
+	{"measured", compiler.SelectMeasured},
+	{"static", compiler.SelectStatic},
+	{"auto", compiler.SelectAuto},
+}
+
+// SelectionFor resolves a selection-mode name.
+func SelectionFor(name string) (compiler.SelectionMode, bool) {
+	for _, e := range selectTable {
+		if e.name == name {
+			return e.m, true
+		}
+	}
+	return 0, false
+}
+
+// selectNames renders the selection-mode set for usage and error text.
+func selectNames() string {
+	names := make([]string, len(selectTable))
+	for i, e := range selectTable {
+		names[i] = e.name
+	}
+	return strings.Join(names, "|")
+}
+
 // StrategyFlag binds the shared -strategy flag.
 func StrategyFlag(fs *flag.FlagSet) *string {
 	return fs.String("strategy", DefaultStrategy, strategyNames())
@@ -452,4 +516,15 @@ func StrategyFlag(fs *flag.FlagSet) *string {
 // CoresFlag binds the shared -cores flag.
 func CoresFlag(fs *flag.FlagSet) *int {
 	return fs.Int("cores", DefaultCores, fmt.Sprintf("number of cores (1..%d)", MaxCores))
+}
+
+// SelectFlag binds the shared -select flag (strategy-selection mode).
+func SelectFlag(fs *flag.FlagSet) *string {
+	return fs.String("select", DefaultSelect, "strategy selection mode: "+selectNames())
+}
+
+// SelectThresholdFlag binds the shared -select-threshold flag.
+func SelectThresholdFlag(fs *flag.FlagSet) *float64 {
+	return fs.Float64("select-threshold", 0,
+		"auto-mode confidence floor in [0, 1] (0 = compiler default, negative = trust every static pick)")
 }
