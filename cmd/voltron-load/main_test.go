@@ -1,0 +1,109 @@
+package main
+
+// The voltron-load smoke tests: a short fixed-seed run against an
+// in-process 2-replica cluster must clear throughput and peer-hit floors
+// and leave a parseable report; the compare mode must record both fleet
+// sizes under the same trace.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadAgainstSpawnedCluster(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-spawn", "2", "-workers", "2",
+		"-rate", "600", "-requests", "400", "-catalog", "32",
+		"-zipf", "1.2", "-seed", "1", "-tracefrac", "0.05",
+		"-minthroughput", "20", "-minpeerhit", "0.005",
+		"-out", out,
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "load:") {
+		t.Errorf("no load summary printed: %q", stdout.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	var doc struct {
+		Runs map[string]*report `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, b)
+	}
+	rep := doc.Runs["load"]
+	if rep == nil {
+		t.Fatalf("report missing the load run: %s", b)
+	}
+	if rep.Targets != 2 || rep.Requests != 400 {
+		t.Errorf("targets/requests = %d/%d, want 2/400", rep.Targets, rep.Requests)
+	}
+	if rep.OK == 0 || rep.Errors != 0 {
+		t.Errorf("ok/errors = %d/%d; the spawned cluster should serve cleanly", rep.OK, rep.Errors)
+	}
+	if rep.PeerServed == 0 {
+		t.Error("no request was peer-served: the Zipf head should cross replicas")
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Errorf("implausible latencies: p50 %.3fms p99 %.3fms", rep.P50MS, rep.P99MS)
+	}
+}
+
+func TestCompareWritesBothFleetSizes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-compare", "-workers", "2",
+		"-rate", "600", "-requests", "300", "-catalog", "24",
+		"-zipf", "1.2", "-seed", "1",
+		"-out", out,
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run -compare: %v\nstderr: %s", err, stderr.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	var doc struct {
+		Runs map[string]*report `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, b)
+	}
+	one, three := doc.Runs["replicas_1"], doc.Runs["replicas_3"]
+	if one == nil || three == nil {
+		t.Fatalf("compare report missing a fleet size: %s", b)
+	}
+	if one.Targets != 1 || three.Targets != 3 {
+		t.Errorf("targets = %d/%d, want 1/3", one.Targets, three.Targets)
+	}
+	if one.PeerServed != 0 {
+		t.Errorf("single replica peer-served %d requests; there is no peer", one.PeerServed)
+	}
+	if three.PeerServed == 0 {
+		t.Error("three replicas peer-served nothing under a shared Zipf trace")
+	}
+	if one.Requests != three.Requests {
+		t.Errorf("runs differ in size: %d vs %d requests", one.Requests, three.Requests)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-zipf", "1.0", "-spawn", "1"}, &stdout, &stderr); err == nil {
+		t.Error("zipf <= 1 accepted; rand.NewZipf requires s > 1")
+	}
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("no targets, no spawn, no compare accepted")
+	}
+}

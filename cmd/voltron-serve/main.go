@@ -10,6 +10,8 @@
 //	voltron-serve -smoke -metricsout BENCH_serve.json
 //	                                       # self-drive a request mix, write
 //	                                       # the metrics snapshot, exit
+//	voltron-serve -self a -peers a=http://h1:8080,b=http://h2:8080
+//	                                       # one replica of a two-node fleet
 //
 // API:
 //
@@ -58,13 +60,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request timeout")
 	smoke := fs.Bool("smoke", false, "self-drive a request mix against an in-process server, then exit")
 	metricsOut := fs.String("metricsout", "", "with -smoke: write the final metrics snapshot to this JSON file")
+	self := fs.String("self", "", "this replica's name in the -peers list (cluster mode)")
+	peersArg := fs.String("peers", "", "fleet membership: name=url,... or @file with one name=url per line")
+	peerTimeout := fs.Duration("peer-timeout", 10*time.Second, "cap on one peer forward (further capped below the request budget)")
+	admitSimulate := fs.Int("admit-simulate", 0, "max concurrently admitted simulate-class requests (0 = 32x workers)")
+	admitCached := fs.Int("admit-cached", 0, "max concurrently admitted cached-read requests (0 = 8x simulate bound)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var peers []server.Replica
+	if *peersArg != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (which entry is this replica?)")
+		}
+		var err error
+		if peers, err = server.ParsePeers(*peersArg); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CacheEntries:   *cacheN,
-		RequestTimeout: *timeout,
+		Workers:         *workers,
+		CacheEntries:    *cacheN,
+		RequestTimeout:  *timeout,
+		Self:            *self,
+		Peers:           peers,
+		PeerTimeout:     *peerTimeout,
+		AdmitSimulate:   *admitSimulate,
+		AdmitCachedRead: *admitCached,
 	})
 	if *smoke {
 		return runSmoke(srv, *metricsOut, stdout)

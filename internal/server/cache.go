@@ -136,6 +136,16 @@ func (c *sfCache[V]) replace(key string, val V) {
 	}
 }
 
+// peek reports whether a completed value is cached under key, without
+// claiming, waiting, or touching LRU order. Admission control uses it to
+// classify a request as a cached read before deciding whether to admit it.
+func (c *sfCache[V]) peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.elem != nil
+}
+
 // len reports the number of completed cached entries.
 func (c *sfCache[V]) len() int {
 	c.mu.Lock()

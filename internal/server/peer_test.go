@@ -1,0 +1,218 @@
+package server
+
+// Peer-layer tests: ParsePeers parsing, the forward budget arithmetic, and
+// the double-deadline regression — a dead owner must degrade to a local
+// simulation inside the inbound budget, never to a 504 spent waiting on the
+// peer.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"voltron/internal/spec"
+)
+
+// jobOwnedByName finds a clusterJob whose ring owner (per s's ring) is the
+// named replica.
+func jobOwnedByName(t *testing.T, s *Server, owner string) ([]byte, string) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		body, key := clusterJob(t, i, false)
+		if s.ring.owner(spec.RingKeyOf(key)) == owner {
+			return body, key
+		}
+	}
+	t.Fatalf("no clusterJob owned by %s in 1000 candidates", owner)
+	return nil, ""
+}
+
+func TestParsePeers(t *testing.T) {
+	dir := t.TempDir()
+	peersFile := filepath.Join(dir, "peers.txt")
+	if err := os.WriteFile(peersFile, []byte(
+		"# fleet membership\n\na=http://h1:8080\n  b = http://h2:8080/  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		arg  string
+		want []Replica
+		err  string
+	}{
+		{
+			name: "inline list",
+			arg:  "a=http://h1:8080,b=http://h2:8080",
+			want: []Replica{{"a", "http://h1:8080"}, {"b", "http://h2:8080"}},
+		},
+		{
+			name: "whitespace and trailing slash normalized",
+			arg:  " a = http://h1:8080/ , b=http://h2:8080 ",
+			want: []Replica{{"a", "http://h1:8080"}, {"b", "http://h2:8080"}},
+		},
+		{
+			name: "single entry",
+			arg:  "solo=http://h:1",
+			want: []Replica{{"solo", "http://h:1"}},
+		},
+		{
+			name: "file with comments and blanks",
+			arg:  "@" + peersFile,
+			want: []Replica{{"a", "http://h1:8080"}, {"b", "http://h2:8080"}},
+		},
+		{name: "missing file", arg: "@" + filepath.Join(dir, "nope"), err: "reading peers file"},
+		{name: "bad entry", arg: "a=http://h1,borked", err: "bad peer entry"},
+		{name: "missing name", arg: "=http://h1", err: "bad peer entry"},
+		{name: "missing url", arg: "a=", err: "bad peer entry"},
+		{name: "duplicate name", arg: "a=http://h1,a=http://h2", err: "duplicate peer name"},
+		{name: "empty", arg: "", err: "empty peer list"},
+		{name: "only separators", arg: " , , ", err: "empty peer list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParsePeers(tc.arg)
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("ParsePeers(%q) err = %v, want containing %q", tc.arg, err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParsePeers(%q): %v", tc.arg, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParsePeers(%q) = %+v, want %+v", tc.arg, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestForwardBudget pins the budget arithmetic: capped at PeerTimeout with
+// no inbound deadline, at half the remaining inbound budget otherwise, and
+// floored at 1ms so an exhausted context cannot produce a zero timeout.
+func TestForwardBudget(t *testing.T) {
+	s := New(Config{PeerTimeout: 10 * time.Second})
+	if got := s.forwardBudget(context.Background()); got != 10*time.Second {
+		t.Errorf("no deadline: budget %v, want PeerTimeout", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+	defer cancel()
+	if got := s.forwardBudget(ctx); got < time.Second || got > 2*time.Second {
+		t.Errorf("4s remaining: budget %v, want ~2s (half the remainder)", got)
+	}
+	spent, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if got := s.forwardBudget(spent); got != time.Millisecond {
+		t.Errorf("expired context: budget %v, want the 1ms floor", got)
+	}
+}
+
+// blackholePeer returns the URL of a listener that accepts connections and
+// then never responds — the worst kind of dead owner, because a forward
+// with a generous timeout will wait it out in full.
+func blackholePeer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.Cleanup(func() { conn.Close() })
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}
+
+// TestPeerTimeoutFallsBackLocally is the double-deadline regression. The
+// owner is a black hole and PeerTimeout is far above the request budget; if
+// the forward inherited the client's deadline (the bug), it would wait the
+// inbound budget out on the dead peer and 504 with nothing left for the
+// fallback. The fix caps the forward at half the remaining budget, so the
+// request must come back 200 from a local simulation within the inbound
+// timeout.
+func TestPeerTimeoutFallsBackLocally(t *testing.T) {
+	cfg := Config{
+		Workers:        2,
+		RequestTimeout: 3 * time.Second,
+		PeerTimeout:    time.Hour, // deliberately absurd: the ctx cap must win
+		Self:           "a",
+		Peers:          []Replica{{Name: "a", URL: "http://unused"}, {Name: "b", URL: blackholePeer(t)}},
+	}
+	s, ts := newTestServer(t, cfg)
+	job, _ := jobOwnedByName(t, s, "b")
+
+	start := time.Now()
+	resp, body := postJob(t, ts, string(job))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %.200s); want 200 via local fallback", resp.StatusCode, body)
+	}
+	if elapsed >= cfg.RequestTimeout {
+		t.Errorf("request took %v, at or above the %v inbound budget", elapsed, cfg.RequestTimeout)
+	}
+	if got := resp.Header.Get("X-Voltron-Peer"); got != "" {
+		t.Errorf("X-Voltron-Peer = %q on a fallback response, want unset", got)
+	}
+	if got := resp.Header.Get("X-Voltron-Cache"); got != "miss" {
+		t.Errorf("X-Voltron-Cache = %q, want miss (simulated locally)", got)
+	}
+	m := s.Metrics()
+	if m.Simulations != 1 || m.PeerForwards != 1 || m.PeerFallbacks != 1 || m.PeerFills != 0 {
+		t.Errorf("sims/forwards/fallbacks/fills = %d/%d/%d/%d, want 1/1/1/0",
+			m.Simulations, m.PeerForwards, m.PeerFallbacks, m.PeerFills)
+	}
+
+	// The fallback result is cached: a repeat serves locally, instantly,
+	// without trying the dead owner again.
+	resp2, _ := postJob(t, ts, string(job))
+	if resp2.Header.Get("X-Voltron-Cache") != "hit" {
+		t.Errorf("repeat after fallback: cache %q, want hit", resp2.Header.Get("X-Voltron-Cache"))
+	}
+	if m2 := s.Metrics(); m2.PeerForwards != 1 {
+		t.Errorf("repeat re-forwarded to the dead owner (%d forwards)", m2.PeerForwards)
+	}
+}
+
+// TestForwardedRequestsComputeLocally: a request carrying the forwarded
+// marker never forwards again, even when the ring says another replica owns
+// the key — the loop-prevention invariant.
+func TestForwardedRequestsComputeLocally(t *testing.T) {
+	cfg := Config{
+		Workers: 2,
+		Self:    "a",
+		Peers:   []Replica{{Name: "a", URL: "http://unused"}, {Name: "b", URL: blackholePeer(t)}},
+	}
+	s, ts := newTestServer(t, cfg)
+	job, _ := jobOwnedByName(t, s, "b")
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(string(job)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "b")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request: status %d", resp.StatusCode)
+	}
+	if m := s.Metrics(); m.PeerForwards != 0 || m.Simulations != 1 {
+		t.Errorf("forwarded request forwarded again: forwards/sims = %d/%d, want 0/1",
+			m.PeerForwards, m.Simulations)
+	}
+}

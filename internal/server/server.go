@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -55,6 +56,26 @@ type Config struct {
 	// (the differential tests assert it); the switch exists for the
 	// before/after comparison in the serve smoke and benchmarks.
 	DisableMachinePool bool
+	// Self names this replica on the cluster's consistent-hash ring. Empty
+	// with no Peers means single-replica operation.
+	Self string
+	// Peers lists the fleet membership (it may include this replica's own
+	// entry, which is skipped). Every replica must be configured with the
+	// same list: ring agreement is what lets any replica compute a key's
+	// owner locally.
+	Peers []Replica
+	// PeerTimeout caps one peer forward. The realized forward timeout is
+	// additionally capped at half the inbound request's remaining budget,
+	// so a dead owner always leaves time for the local-simulation fallback.
+	// Defaults to 10 seconds.
+	PeerTimeout time.Duration
+	// AdmitSimulate bounds concurrently admitted simulate-class requests
+	// (jobs with no completed local cache entry). Requests beyond the bound
+	// are shed with a typed 429 and Retry-After. Defaults to 32× Workers.
+	AdmitSimulate int
+	// AdmitCachedRead bounds concurrently admitted cached-read requests.
+	// Defaults to 8× AdmitSimulate.
+	AdmitCachedRead int
 	// Suite optionally shares an experiment suite (benchmark programs,
 	// profiles, and figure results). Defaults to a fresh one.
 	Suite *exp.Suite
@@ -75,6 +96,14 @@ type Server struct {
 	// slots (a compile must not starve runs of the warm machines it feeds).
 	compileSem chan struct{}
 	start      time.Time
+	// Cluster state: the consistent-hash ring over the fleet (nil when
+	// single-replica), the peer base URLs by replica name, and the shared
+	// client for peer forwards.
+	ring     *ring
+	peerURL  map[string]string
+	peerHTTP *http.Client
+	// adm is the admission layer: per-class bounds in front of the batcher.
+	adm *admission
 
 	jobs           stats.Counter
 	hits           stats.Counter
@@ -89,9 +118,14 @@ type Server struct {
 	selectStatic    stats.Counter
 	selectEscalated stats.Counter
 	selectRechecks  stats.Counter
-	errorsN         stats.Counter
-	canceled        stats.Counter
-	latency         map[string]*stats.Histogram
+	// Peer-to-peer cache fill: forwards attempted, bodies actually served
+	// by a peer, and local-simulation fallbacks after a peer failure.
+	peerForwards  stats.Counter
+	peerFills     stats.Counter
+	peerFallbacks stats.Counter
+	errorsN       stats.Counter
+	canceled      stats.Counter
+	latency       map[string]*stats.Histogram
 }
 
 // New creates a Server.
@@ -110,6 +144,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ArtifactEntries <= 0 {
 		cfg.ArtifactEntries = 64
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 10 * time.Second
+	}
+	if cfg.AdmitSimulate <= 0 {
+		cfg.AdmitSimulate = 32 * cfg.Workers
+	}
+	if cfg.AdmitCachedRead <= 0 {
+		cfg.AdmitCachedRead = 8 * cfg.AdmitSimulate
+	}
+	if len(cfg.Peers) > 0 && cfg.Self == "" {
+		cfg.Self = "self"
 	}
 	if cfg.Suite == nil {
 		cfg.Suite = exp.NewSuite()
@@ -131,6 +177,22 @@ func New(cfg Config) *Server {
 		latency:    map[string]*stats.Histogram{},
 	}
 	s.batch = newBatcher(cfg.Workers, s.pool)
+	s.adm = newAdmission(cfg.AdmitSimulate, cfg.AdmitCachedRead)
+	if len(cfg.Peers) > 0 {
+		s.ring = newRing(ringVnodes)
+		s.ring.add(cfg.Self)
+		s.peerURL = map[string]string{}
+		for _, p := range cfg.Peers {
+			if p.Name == "" || p.Name == cfg.Self {
+				continue
+			}
+			s.ring.add(p.Name)
+			if p.URL != "" {
+				s.peerURL[p.Name] = strings.TrimSuffix(p.URL, "/")
+			}
+		}
+		s.peerHTTP = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
 	for _, si := range spec.Strategies() {
 		s.latency[si.Name] = &stats.Histogram{}
 	}
@@ -171,12 +233,27 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves the Chrome trace JSON of a previously traced job.
-// Traces live in a bounded LRU: a trace evicted (or served by another
-// replica) returns 404 with a hint to re-run the job.
+// Traces live in a bounded LRU sharded like job results: a local miss on a
+// non-owner replica forwards to the key's ring owner (which rendered and
+// stored the blob when it ran the traced job) and fills the local store, so
+// a trace is fetchable from any replica of the fleet. A trace evicted
+// everywhere returns 404 with a hint to re-run the job.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	b, ok := s.traces.get(key)
 	if !ok {
+		if owner := s.ownerOf(key); owner != "" && r.Header.Get(forwardHeader) == "" {
+			s.peerForwards.Inc()
+			if pb, notFound, err := s.forwardTrace(r.Context(), owner, key); err == nil && !notFound {
+				s.peerFills.Inc()
+				s.traces.put(key, pb)
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Voltron-Peer", owner)
+				w.WriteHeader(http.StatusOK)
+				w.Write(pb)
+				return
+			}
+		}
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no trace for %q (evicted or never produced; re-POST the job with \"trace\": true)", key))
 		return
 	}
@@ -215,44 +292,72 @@ type MetricsSnapshot struct {
 	// the classifier decided without simulation, regions it escalated to
 	// measured selection, and regions re-selected because a traced run's
 	// stall profile contradicted the static pick.
-	SelectStatic     int64                              `json:"select_static_total"`
-	SelectEscalated  int64                              `json:"select_escalated_total"`
-	SelectReselected int64                              `json:"select_reselected_total"`
-	Errors           int64                              `json:"errors"`
-	Canceled         int64                              `json:"canceled"`
-	QueueDepth       int64                              `json:"queue_depth"`
-	InFlight         int64                              `json:"in_flight"`
-	Latency          map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
+	SelectStatic     int64 `json:"select_static_total"`
+	SelectEscalated  int64 `json:"select_escalated_total"`
+	SelectReselected int64 `json:"select_reselected_total"`
+	// Cluster: this replica's ring identity and the peer-to-peer cache-fill
+	// traffic. Forwards count attempts (jobs and traces), fills count bodies
+	// actually served by a peer, fallbacks count local simulations run
+	// because the owning peer failed or timed out.
+	Replica       string `json:"replica,omitempty"`
+	Peers         int    `json:"peers,omitempty"`
+	PeerForwards  int64  `json:"peer_forwards_total"`
+	PeerFills     int64  `json:"peer_fills_total"`
+	PeerFallbacks int64  `json:"peer_fallbacks_total"`
+	// Admission control: per-class admitted depth (a gauge: requests between
+	// admit and response), the class bound, and the total shed with 429.
+	AdmitQueueSimulate   int64                              `json:"admit_queue_simulate"`
+	AdmitQueueCachedRead int64                              `json:"admit_queue_cached_read"`
+	AdmitLimitSimulate   int                                `json:"admit_limit_simulate"`
+	AdmitLimitCachedRead int                                `json:"admit_limit_cached_read"`
+	ShedSimulate         int64                              `json:"shed_simulate_total"`
+	ShedCachedRead       int64                              `json:"shed_cached_read_total"`
+	Errors               int64                              `json:"errors"`
+	Canceled             int64                              `json:"canceled"`
+	QueueDepth           int64                              `json:"queue_depth"`
+	InFlight             int64                              `json:"in_flight"`
+	Latency              map[string]stats.HistogramSnapshot `json:"latency_by_strategy"`
 }
 
 // Metrics returns a point-in-time snapshot of the service counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	m := MetricsSnapshot{
-		UptimeSeconds:       time.Since(s.start).Seconds(),
-		Workers:             s.cfg.Workers,
-		Jobs:                s.jobs.Value(),
-		Simulations:         s.batch.runs.Value(),
-		CacheHits:           s.hits.Value(),
-		CacheMisses:         s.misses.Value(),
-		CacheDeduped:        s.deduped.Value(),
-		CacheEntries:        s.cache.len(),
-		CompileCacheHits:    s.compileHits.Value(),
-		CompileCacheMisses:  s.compileMisses.Value(),
-		CompileCacheDeduped: s.compileDeduped.Value(),
-		CompileCacheEntries: s.artifacts.len(),
-		MachinePoolHits:     s.pool.hits.Value(),
-		MachinePoolResets:   s.pool.resets.Value(),
-		MachinePoolNews:     s.pool.news.Value(),
-		MachinePoolIdle:     s.pool.size(),
-		BatchedRuns:         s.batch.batched.Value(),
-		SelectStatic:        s.selectStatic.Value(),
-		SelectEscalated:     s.selectEscalated.Value(),
-		SelectReselected:    s.selectRechecks.Value(),
-		Errors:              s.errorsN.Value(),
-		Canceled:            s.canceled.Value(),
-		QueueDepth:          s.batch.queued.Value(),
-		InFlight:            s.batch.running.Value(),
-		Latency:             map[string]stats.HistogramSnapshot{},
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		Workers:              s.cfg.Workers,
+		Jobs:                 s.jobs.Value(),
+		Simulations:          s.batch.runs.Value(),
+		CacheHits:            s.hits.Value(),
+		CacheMisses:          s.misses.Value(),
+		CacheDeduped:         s.deduped.Value(),
+		CacheEntries:         s.cache.len(),
+		CompileCacheHits:     s.compileHits.Value(),
+		CompileCacheMisses:   s.compileMisses.Value(),
+		CompileCacheDeduped:  s.compileDeduped.Value(),
+		CompileCacheEntries:  s.artifacts.len(),
+		MachinePoolHits:      s.pool.hits.Value(),
+		MachinePoolResets:    s.pool.resets.Value(),
+		MachinePoolNews:      s.pool.news.Value(),
+		MachinePoolIdle:      s.pool.size(),
+		BatchedRuns:          s.batch.batched.Value(),
+		SelectStatic:         s.selectStatic.Value(),
+		SelectEscalated:      s.selectEscalated.Value(),
+		SelectReselected:     s.selectRechecks.Value(),
+		Replica:              s.cfg.Self,
+		Peers:                len(s.peerURL),
+		PeerForwards:         s.peerForwards.Value(),
+		PeerFills:            s.peerFills.Value(),
+		PeerFallbacks:        s.peerFallbacks.Value(),
+		AdmitQueueSimulate:   int64(s.adm.depthOf(admSimulate)),
+		AdmitQueueCachedRead: int64(s.adm.depthOf(admCachedRead)),
+		AdmitLimitSimulate:   s.cfg.AdmitSimulate,
+		AdmitLimitCachedRead: s.cfg.AdmitCachedRead,
+		ShedSimulate:         s.adm.shed[admSimulate].Value(),
+		ShedCachedRead:       s.adm.shed[admCachedRead].Value(),
+		Errors:               s.errorsN.Value(),
+		Canceled:             s.canceled.Value(),
+		QueueDepth:           s.batch.queued.Value(),
+		InFlight:             s.batch.running.Value(),
+		Latency:              map[string]stats.HistogramSnapshot{},
 	}
 	if total := m.CompileCacheHits + m.CompileCacheMisses + m.CompileCacheDeduped; total > 0 {
 		m.CompileCacheHitRatio = float64(m.CompileCacheHits+m.CompileCacheDeduped) / float64(total)
@@ -322,12 +427,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobs.Inc()
+	// Admission: classify by expected cost — a completed local cache entry
+	// makes this a cached read (microseconds), anything else may compile and
+	// simulate — and shed with a typed 429 when the class is at its bound.
+	key := req.Key()
+	class := admSimulate
+	if s.cache.peek(key) {
+		class = admCachedRead
+	}
+	release, depth, ok := s.adm.admit(class)
+	if !ok {
+		s.writeShed(w, class, depth)
+		return
+	}
+	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
 	startedAt := time.Now()
-	body, status, cstat, compiled, selMode, err := s.jobBody(ctx, req)
-	switch status {
+	out, err := s.jobBody(ctx, req, key, r.Header.Get(forwardHeader) != "")
+	switch out.status {
 	case cacheHit:
 		s.hits.Inc()
 	case cacheMiss:
@@ -353,41 +472,125 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.latency[req.Strategy].Observe(time.Since(startedAt))
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Voltron-Cache", status.String())
-	if compiled {
+	cacheHdr := out.status.String()
+	if out.peer != "" {
+		// The body was filled from the owning replica: report the owner's
+		// cache status — the fleet-level answer, "hit" when any replica had
+		// already simulated this job — and name the peer that served it.
+		if out.peerCache != "" {
+			cacheHdr = out.peerCache
+		}
+		w.Header().Set("X-Voltron-Peer", out.peer)
+	}
+	w.Header().Set("X-Voltron-Cache", cacheHdr)
+	if out.compiled {
 		// Only a request that actually reached the compile stage (a result
-		// cache miss) reports how that stage was satisfied; a result hit or
-		// dedup never consulted the artifact cache.
-		w.Header().Set("X-Voltron-Compile-Cache", cstat.String())
-		if selMode != "" {
+		// cache miss computed locally) reports how that stage was satisfied;
+		// a result hit, dedup or peer fill never consulted the artifact cache.
+		w.Header().Set("X-Voltron-Compile-Cache", out.compile.String())
+		if out.selMode != "" {
 			// How per-region strategy selection decided this job's artifact:
 			// "measured", "static" (every region decided by the classifier) or
 			// "escalated" (classifier plus measured fallback for low-confidence
 			// or stall-contradicted regions). Absent for compiles that run no
 			// selection (serial, single-core).
-			w.Header().Set("X-Voltron-Select", selMode)
+			w.Header().Set("X-Voltron-Select", out.selMode)
 		}
 	}
 	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	w.Write(out.body)
 }
 
-// jobBody resolves one normalized job to its rendered response body via
-// the content-addressed cache. compiled reports whether this request ran
-// the compile stage itself (i.e. the result lookup missed), in which case
-// compile says how the artifact cache satisfied it and selMode how strategy
-// selection decided the artifact.
-func (s *Server) jobBody(ctx context.Context, req *JobRequest) (body []byte, status cacheStatus, compile cacheStatus, compiled bool, selMode string, err error) {
-	key := req.Key()
-	body, status, err = s.cache.get(ctx, key, func() ([]byte, error) {
+// writeShed answers a request the admission layer rejected: 429, a
+// Retry-After header, and the same estimate in a typed body.
+func (s *Server) writeShed(w http.ResponseWriter, class admClass, depth int) {
+	secs := s.retryAfterSeconds(class, depth)
+	limit := s.cfg.AdmitSimulate
+	if class == admCachedRead {
+		limit = s.cfg.AdmitCachedRead
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusTooManyRequests, ShedResponse{
+		SchemaVersion:     spec.SchemaVersion,
+		Error:             fmt.Sprintf("%s queue full (%d admitted, limit %d); retry in %ds", class, depth, limit, secs),
+		Class:             class.String(),
+		QueueDepth:        depth,
+		QueueLimit:        limit,
+		RetryAfterSeconds: secs,
+	})
+}
+
+// retryAfterSeconds estimates when a shed client should retry: the time for
+// the admitted simulate queue to drain through the worker pool at the
+// observed mean job latency (100ms before any observation exists), clamped
+// to [1, 30] seconds. Cached reads drain in microseconds, so their estimate
+// is the floor.
+func (s *Server) retryAfterSeconds(class admClass, depth int) int {
+	if class == admCachedRead {
+		return 1
+	}
+	var sumUS float64
+	var n int64
+	for _, h := range s.latency {
+		snap := h.Snapshot()
+		sumUS += snap.MeanUS * float64(snap.Count)
+		n += snap.Count
+	}
+	meanUS := 100_000.0
+	if n > 0 {
+		meanUS = sumUS / float64(n)
+	}
+	secs := int(math.Ceil(float64(depth) * meanUS / float64(s.cfg.Workers) / 1e6))
+	return min(max(secs, 1), 30)
+}
+
+// jobOutcome describes how one job body was produced.
+type jobOutcome struct {
+	body     []byte
+	status   cacheStatus // how the local result cache was satisfied
+	compile  cacheStatus // how the compile stage was satisfied (when compiled)
+	compiled bool        // this request ran the compile stage locally
+	selMode  string      // how strategy selection decided the artifact
+	// peer names the owning replica whose response filled the local cache
+	// ("" when the body was computed or already cached locally); peerCache
+	// is that owner's X-Voltron-Cache status.
+	peer      string
+	peerCache string
+}
+
+// jobBody resolves one normalized job to its rendered response body via the
+// content-addressed cache. On a local miss for a key owned by another
+// replica, the singleflight computation forwards to the owner — the peer's
+// bytes are stored locally verbatim (peer cache fill), so every replica
+// serves byte-identical bodies — and falls back to simulating locally when
+// the owner is unreachable, sheds, or runs out of the forward budget.
+// forwarded suppresses re-forwarding: requests that arrived from a peer and
+// nested jobs (a baseline comparison inside a running job) always compute
+// locally, which both prevents forwarding loops and keeps one job's latency
+// bounded by a single forward hop.
+func (s *Server) jobBody(ctx context.Context, req *JobRequest, key string, forwarded bool) (jobOutcome, error) {
+	var out jobOutcome
+	body, status, err := s.cache.get(ctx, key, func() ([]byte, error) {
+		if owner := s.ownerOf(key); owner != "" && !forwarded {
+			s.peerForwards.Inc()
+			if b, pcache, ferr := s.forwardJob(ctx, owner, req); ferr == nil {
+				out.peer, out.peerCache = owner, pcache
+				s.peerFills.Inc()
+				return b, nil
+			} else if ctx.Err() != nil {
+				return nil, ctx.Err() // our own budget expired, not the peer's
+			}
+			s.peerFallbacks.Inc()
+		}
 		resp, cstat, mode, err := s.runJob(ctx, req, key)
 		if err != nil {
 			return nil, err
 		}
-		compile, compiled, selMode = cstat, true, mode
+		out.compile, out.compiled, out.selMode = cstat, true, mode
 		return json.Marshal(resp)
 	})
-	return body, status, compile, compiled, selMode, err
+	out.body, out.status = body, status
+	return out, err
 }
 
 // runJob executes one normalized job (and, when asked, its serial
@@ -447,12 +650,12 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 		// job's timeline, not the baseline's.
 		base := *req
 		base.Strategy, base.Cores, base.Baseline, base.Trace = "serial", 1, false, false
-		body, _, _, _, _, err := s.jobBody(ctx, &base)
+		bout, err := s.jobBody(ctx, &base, base.Key(), true)
 		if err != nil {
 			return nil, cstat, selMode, fmt.Errorf("baseline: %w", err)
 		}
 		var bresp JobResponse
-		if err := json.Unmarshal(body, &bresp); err != nil {
+		if err := json.Unmarshal(bout.body, &bresp); err != nil {
 			return nil, cstat, selMode, fmt.Errorf("baseline: %w", err)
 		}
 		resp.BaselineCycles = bresp.TotalCycles

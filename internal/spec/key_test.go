@@ -93,6 +93,33 @@ func TestCompileKeyIgnoresRunOnlyFields(t *testing.T) {
 	}
 }
 
+// TestRingKeyDerivation: the cluster shard key is the bare digest of the
+// run content address — stable, prefix-free, and shared between a job and
+// its trace blob (both are addressed by the job key), so a fleet places
+// them on the same owner.
+func TestRingKeyDerivation(t *testing.T) {
+	r := normalized(t, &JobRequest{Bench: "x"})
+	rk := r.RingKey()
+	if rk != RingKeyOf(r.Key()) {
+		t.Errorf("RingKey() = %q, RingKeyOf(Key()) = %q; want equal", rk, RingKeyOf(r.Key()))
+	}
+	if len(rk) != 64 {
+		t.Errorf("ring key %q is not a bare sha256 hex digest (len %d, want 64)", rk, len(rk))
+	}
+	if "sha256:"+rk != r.Key() {
+		t.Errorf("ring key does not derive from the run key: %q vs %q", rk, r.Key())
+	}
+	if rk != r.RingKey() {
+		t.Error("ring key is not deterministic across calls")
+	}
+	// Distinct jobs shard independently: the traced twin is a different run
+	// key, hence (in general) a different ring position.
+	traced := normalized(t, &JobRequest{Bench: "x", Trace: true})
+	if traced.RingKey() == rk {
+		t.Error("traced twin shares the untraced job's ring key")
+	}
+}
+
 // TestMachineKeyGroupsPools: the machine-pool key folds everything but the
 // machine shape and latency overrides, so warm machines are shared across
 // programs and strategies but never across machine configurations.

@@ -307,6 +307,21 @@ func (r *JobRequest) Key() string {
 	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
+// RingKeyOf derives the cluster shard key from a v1 content address
+// ("sha256:<hex>"): the bare digest. A multi-replica fleet places content on
+// its consistent-hash ring by this key. The job result and its trace blob
+// share one address (the trace is served under the job's key), so both land
+// on the same owner — a replica that forwarded a job forwards the follow-up
+// trace lookup to the same peer.
+func RingKeyOf(contentKey string) string {
+	return strings.TrimPrefix(contentKey, "sha256:")
+}
+
+// RingKey is the shard key a multi-replica fleet uses to place this
+// (normalized) job on its consistent-hash ring: RingKeyOf of the run
+// content address.
+func (r *JobRequest) RingKey() string { return RingKeyOf(r.Key()) }
+
 // compileIdentity is the slice of a job that determines the compiled
 // artifact: what to compile (benchmark or inline program), how (strategy
 // and compiler gates) and for how many cores. Machine latencies, the trace
