@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fig := fs.Int("fig", 0, "figure to regenerate (0 = all)")
 	bench := fs.String("bench", "", "restrict to one benchmark")
 	smoke := fs.Bool("smoke", false, "fast subset: gsmdecode+rawcaudio, figures 3/12/13")
-	scaling := fs.Bool("scaling", false, "run the 8-core scaling extension instead of the paper figures")
+	scaling := fs.Bool("scaling", false, "run the many-core scaling extension (speedup + stall attribution at 1..64 cores) instead of the paper figures")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
 	workers := fs.Int("j", 0, "evaluation workers (0 = all host CPUs, 1 = sequential)")
 	selectMode := spec.SelectFlag(fs)
@@ -165,11 +166,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *scaling {
 		if err := timed("scaling", func() error {
-			tab, err := s.Scaling()
+			speedup, err := s.Scaling()
 			if err != nil {
 				return err
 			}
-			return emit(tab)
+			stalls, err := s.ScalingStalls()
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				// One combined document, so the CI artifact is a single
+				// machine-readable figure.
+				return writeScalingJSON(stdout, speedup, stalls)
+			}
+			speedup.Print(stdout)
+			fmt.Fprintln(stdout)
+			stalls.Print(stdout)
+			return nil
 		}); err != nil {
 			return err
 		}
@@ -281,6 +294,25 @@ func compareSelection(s *exp.Suite, figs []int, workers, agreeRand int, threshol
 		cmp.Speedup = ms / as
 	}
 	return cmp, rep, nil
+}
+
+// writeScalingJSON emits the scalability figure as one JSON document:
+// the hybrid speedup sweep and the stall attribution side by side.
+func writeScalingJSON(w io.Writer, speedup, stalls *exp.Table) error {
+	var sp, st bytes.Buffer
+	if err := speedup.WriteJSON(&sp); err != nil {
+		return err
+	}
+	if err := stalls.WriteJSON(&st); err != nil {
+		return err
+	}
+	out := struct {
+		Speedup json.RawMessage `json:"speedup"`
+		Stalls  json.RawMessage `json:"stalls"`
+	}{Speedup: sp.Bytes(), Stalls: st.Bytes()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // writeAgreement records the agreement report (the CI artifact).

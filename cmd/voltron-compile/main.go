@@ -66,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown selection mode %q", *selectMode)
 	}
+	if err := spec.ValidateCores(*cores); err != nil {
+		return err
+	}
 	cp, err := compiler.Compile(p, compiler.Options{
 		Cores: *cores, Strategy: strat, Selection: sel, SelectThreshold: *selectTh,
 	})

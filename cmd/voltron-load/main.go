@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Float64Var(&o.zipfS, "zipf", 1.2, "Zipf exponent for job popularity (>1; higher = hotter head)")
 	fs.Int64Var(&o.seed, "seed", 1, "RNG seed (arrivals, popularity, trace sampling)")
 	fs.Float64Var(&o.traceFrac, "tracefrac", 0.05, "fraction of requests that ask for an execution trace")
-	fs.IntVar(&o.cores, "cores", 2, "cores per simulated machine")
+	fs.IntVar(&o.cores, "cores", 2, "cores per simulated machine (every sixth catalog entry overrides with a 16/32/64-core machine)")
 	fs.IntVar(&o.workers, "workers", 0, "with -spawn/-compare: worker pool per replica (0 = host CPUs)")
 	fs.StringVar(&o.out, "out", "", "write the JSON report here (BENCH_load.json)")
 	fs.Float64Var(&o.minThroughput, "minthroughput", 0, "fail below this completed-requests/second")
@@ -130,7 +130,11 @@ func resolveTargets(o options, n int) ([]string, func(), error) {
 
 // catalogJob builds the i-th catalog entry: a deterministic inline program
 // cycling through kernel shapes and strategies, so a catalog mixes serial,
-// ILP, LLP and hybrid work. The request is normalized so its bytes (and
+// ILP, LLP and hybrid work. Every sixth entry is a many-core job (16, 32
+// or 64 cores, one with a non-default mesh shape): wide machines carry
+// distinct machine keys, so a mixed catalog churns the warm machine pool
+// through shape changes under concurrent load instead of settling on one
+// machine configuration. The request is normalized so its bytes (and
 // content address) are identical across runs.
 func catalogJob(i, cores int, traced bool) (*spec.JobRequest, error) {
 	strategies := []string{"llp", "ilp", "serial", "hybrid"}
@@ -145,6 +149,13 @@ func catalogJob(i, cores int, traced bool) (*spec.JobRequest, error) {
 		Strategy: strategies[i%len(strategies)],
 		Cores:    cores,
 		Trace:    traced,
+	}
+	if i%6 == 5 {
+		wide := []int{16, 32, 64}
+		req.Cores = wide[(i/6)%len(wide)]
+		if req.Cores == 64 {
+			req.Machine.MeshCols = 16 // 16×4 mesh: a distinct pool shape at the same width
+		}
 	}
 	if err := req.Normalize(func(string) bool { return false }); err != nil {
 		return nil, err

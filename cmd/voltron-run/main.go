@@ -61,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	if err := spec.ValidateCores(*cores); err != nil {
+		return err
+	}
 	sel, ok := spec.SelectionFor(*selectMode)
 	if !ok {
 		return fmt.Errorf("unknown selection mode %q", *selectMode)

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"voltron/internal/isa"
+)
 
 // The simulator's two hot loops, driven by the same hand-built programs
 // the reference tests use. Run with -benchmem: the point of the
@@ -33,4 +38,102 @@ func BenchmarkDecoupledQueueLoop(b *testing.B) {
 func BenchmarkDOALLFallback(b *testing.B) {
 	cp, _ := doallProgram(true)
 	benchProgram(b, cp)
+}
+
+// benchProgramWarm runs cp repeatedly on one warm machine (the pooled-serve
+// usage pattern), so the measurement is the event loop itself rather than
+// machine construction.
+func benchProgramWarm(b *testing.B, cp *CompiledProgram) {
+	b.Helper()
+	b.ReportAllocs()
+	m := New(DefaultConfig(cp.Cores))
+	if _, err := m.Run(cp); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wideIdlePipelineProgram is the 2-core producer/consumer queue pipeline
+// embedded in an n-core machine whose remaining cores sleep for the whole
+// region. Simulation work is constant in n; only the machine width grows —
+// the activity-indexed scheduler's target case.
+func wideIdlePipelineProgram(cores int) *CompiledProgram {
+	base := queuePipelineProgram()
+	r := base.Regions[0]
+	wide := &CompiledRegion{
+		Name: r.Name, Mode: r.Mode,
+		Code:       make([][]isa.Inst, cores),
+		Labels:     make([]map[int64]int, cores),
+		Entry:      make([]int, cores),
+		StartAwake: make([]bool, cores),
+	}
+	copy(wide.Code, r.Code)
+	copy(wide.Labels, r.Labels)
+	copy(wide.Entry, r.Entry)
+	copy(wide.StartAwake, r.StartAwake)
+	for c := 2; c < cores; c++ {
+		wide.Labels[c] = map[int64]int{}
+	}
+	return &CompiledProgram{
+		Name: fmt.Sprintf("wide-idle-%d", cores), Cores: cores, Src: base.Src,
+		Regions: []*CompiledRegion{wide},
+	}
+}
+
+// allActiveProgram keeps every one of n cores busy in an independent
+// decoupled compute loop — the worst case for an activity-indexed
+// scheduler (activity == width), guarding against regression when nothing
+// is idle.
+func allActiveProgram(cores int) *CompiledProgram {
+	p, _ := srcProg(4)
+	wide := &CompiledRegion{
+		Name: "r", Mode: Decoupled,
+		Code:       make([][]isa.Inst, cores),
+		Labels:     make([]map[int64]int, cores),
+		Entry:      make([]int, cores),
+		StartAwake: make([]bool, cores),
+	}
+	for c := 0; c < cores; c++ {
+		a := newAsm()
+		a.emit(isa.Inst{Op: isa.MOVI, Dst: isa.GPR(1), Imm: 0})
+		a.emit(isa.Inst{Op: isa.PBR, Dst: isa.BTR(0), Imm: 1})
+		a.label(1)
+		a.emit(isa.Inst{Op: isa.ADD, Dst: isa.GPR(1), Src1: isa.GPR(1), Imm: 1})
+		a.emit(isa.Inst{Op: isa.CMPLT, Dst: isa.PR(1), Src1: isa.GPR(1), Imm: 64})
+		a.emit(isa.Inst{Op: isa.BR, Src1: isa.BTR(0), Src2: isa.PR(1)})
+		a.emit(isa.Inst{Op: isa.HALT})
+		wide.Code[c] = a.code
+		wide.Labels[c] = a.labels
+		wide.StartAwake[c] = true
+	}
+	return &CompiledProgram{
+		Name: fmt.Sprintf("all-active-%d", cores), Cores: cores, Src: p,
+		Regions: []*CompiledRegion{wide},
+	}
+}
+
+// BenchmarkEventLoopWideIdle measures per-event cost as machine width grows
+// with activity held constant (2 busy cores, the rest asleep). Before the
+// activity-indexed scheduler this scaled linearly with width; afterwards
+// the 64-core row should sit near the 8-core row.
+func BenchmarkEventLoopWideIdle(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		cp := wideIdlePipelineProgram(n)
+		b.Run(fmt.Sprintf("cores-%d", n), func(b *testing.B) { benchProgramWarm(b, cp) })
+	}
+}
+
+// BenchmarkEventLoopWideActive is the zero-idle control: every core busy,
+// so cost must scale with width and the indexed scheduler may not add
+// overhead over the plain scan.
+func BenchmarkEventLoopWideActive(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		cp := allActiveProgram(n)
+		b.Run(fmt.Sprintf("cores-%d", n), func(b *testing.B) { benchProgramWarm(b, cp) })
+	}
 }

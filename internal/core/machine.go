@@ -36,6 +36,12 @@ type Config struct {
 	// QueueCap overrides the per-(sender,receiver) queue capacity when
 	// nonzero (-1 = unbounded).
 	QueueCap int
+	// MeshCols overrides the mesh column count when nonzero (the mesh-shape
+	// ablation knob): cores are arranged over MeshCols columns instead of
+	// the near-square default, with ghost positions padding the last row.
+	// Values below 4 break the coupled compiler's row-group adjacency, so
+	// the request surface only admits 0 or [4, cores].
+	MeshCols int
 	// Trace, when non-nil, receives the legacy text trace — one line per
 	// issued instruction and per region transition. It is rendered from the
 	// structured event stream (trace.Tracer.WriteText) when the run
@@ -101,11 +107,23 @@ type Machine struct {
 	direct *xnet.DirectNet
 	queue  *xnet.QueueNet
 	rs     runState
+	// sched is the decoupled event loop's wake scheduler, reused across
+	// regions and runs like the rest of the per-core scratch state.
+	sched wakeSched
 }
 
 // New creates a machine.
 func New(cfg Config) *Machine {
-	return &Machine{cfg: cfg, top: xnet.TopologyFor(cfg.Cores)}
+	return &Machine{cfg: cfg, top: topologyOf(cfg)}
+}
+
+// topologyOf resolves a config's mesh arrangement: the paper's near-square
+// default, or a fixed column count when the mesh-shape knob is set.
+func topologyOf(cfg Config) xnet.Topology {
+	if cfg.MeshCols > 0 {
+		return xnet.TopologyCols(cfg.Cores, cfg.MeshCols)
+	}
+	return xnet.TopologyFor(cfg.Cores)
 }
 
 // Reset reconfigures the machine to cfg, reinstating exactly New(cfg)'s
@@ -116,8 +134,8 @@ func New(cfg Config) *Machine {
 // the next Run is byte-identical to a fresh machine's (the pooled-vs-fresh
 // differential tests assert it).
 func (m *Machine) Reset(cfg Config) {
-	if cfg.Cores != m.cfg.Cores || cfg.Mem != m.cfg.Mem {
-		*m = Machine{cfg: cfg, top: xnet.TopologyFor(cfg.Cores)}
+	if cfg.Cores != m.cfg.Cores || cfg.Mem != m.cfg.Mem || cfg.MeshCols != m.cfg.MeshCols {
+		*m = Machine{cfg: cfg, top: topologyOf(cfg)}
 		return
 	}
 	m.cfg = cfg
@@ -125,15 +143,20 @@ func (m *Machine) Reset(cfg Config) {
 
 // coreState is one core's runtime state.
 type coreState struct {
-	id           int
-	pc           int
-	awake        bool
-	done         bool
-	txwait       bool
-	txactive     bool
-	stallUntil   int64
-	stallKind    stats.Kind
-	fetchUntil   int64
+	id         int
+	pc         int
+	awake      bool
+	done       bool
+	txwait     bool
+	txactive   bool
+	stallUntil int64
+	stallKind  stats.Kind
+	fetchUntil int64
+	// chargedUntil is the first cycle this core has not yet been charged
+	// for. The event-scheduled loop accounts blocked cores lazily: a core
+	// skipped over [chargedUntil, now) settles the window in one catchUpTo
+	// call when it is next evaluated.
+	chargedUntil int64
 	regs         [4][]uint64
 	ready        [4][]int64
 	issuedBranch bool // this cycle (coupled-mode consistency check)
@@ -209,6 +232,11 @@ type runState struct {
 	statsOn bool
 	tr      *trace.Tracer
 	ref     bool
+	// sched points at the machine's wake scheduler while the event-driven
+	// decoupled loop runs a region; nil otherwise. The notify hooks and
+	// counter updates inside the shared step/exec code key off it with a
+	// single pointer check, the same discipline as the nil tracer.
+	sched *wakeSched
 	// current region context
 	cr       *CompiledRegion
 	regionID int
@@ -571,23 +599,26 @@ func (rs *runState) runCoupled() error {
 // ---------- decoupled (fine-grain thread) execution ----------
 
 func (rs *runState) runDecoupled() error {
+	if rs.ref {
+		return rs.runDecoupledRef()
+	}
+	return rs.runDecoupledEvent()
+}
+
+// runDecoupledRef is the naive per-cycle decoupled stepper: every core is
+// evaluated on every cycle. It is the cycle-exactness oracle the
+// event-scheduled loop is diffed against, and costs O(width) per cycle no
+// matter how many cores are actually doing anything.
+func (rs *runState) runDecoupledRef() error {
 	cr := rs.cr
 	for {
 		if err := rs.checkCancel(); err != nil {
 			return err
 		}
 		allQuiet := true
-		anyActed := false
-		wake := neverWakes
 		for _, cs := range rs.cores {
-			acted, w, err := rs.stepDecoupled(cs)
-			if err != nil {
+			if _, _, err := rs.stepDecoupled(cs); err != nil {
 				return err
-			}
-			if acted {
-				anyActed = true
-			} else if w < wake {
-				wake = w
 			}
 			if !cs.done && cs.awake {
 				allQuiet = false
@@ -614,7 +645,6 @@ func (rs *runState) runDecoupled() error {
 							rs.tr.TxCommit(rs.now, cs.id)
 						}
 						cs.txwait, cs.txactive = false, false
-						anyActed = true
 					}
 				}
 			}
@@ -623,29 +653,8 @@ func (rs *runState) runDecoupled() error {
 		if allQuiet && !rs.queue.PendingAny() {
 			return nil
 		}
-		if rs.ref {
-			if err := rs.watchdog(); err != nil {
-				return err
-			}
-			continue
-		}
-		if anyActed {
-			continue
-		}
-		// No core changed machine state this cycle, so nothing can happen
-		// before the earliest scheduled wake event (a stall release or a
-		// queue-message arrival): jump the clock there, charging every
-		// core exactly what the per-cycle loop would have charged. No wake
-		// event at all means the machine is frozen for good — the
-		// event-driven watchdog.
-		if wake == neverWakes {
-			return rs.deadlock()
-		}
-		if wake > rs.now {
-			for _, cs := range rs.cores {
-				rs.skipDecoupled(cs, rs.now, wake)
-			}
-			rs.now = wake
+		if err := rs.watchdog(); err != nil {
+			return err
 		}
 	}
 }
@@ -662,12 +671,19 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 		rs.charge(cs.id, stats.SyncCallRet)
 		return false, neverWakes, nil
 	case !cs.awake:
-		if addr, seq, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
+		if addr, from, seq, ok := rs.queue.RecvSpawn(cs.id, rs.now); ok {
 			idx, lbl := cr.lookupLabel(cs.id, int64(addr))
 			if !lbl {
 				return false, 0, fmt.Errorf("core %d: spawned at unknown block %d", cs.id, addr)
 			}
 			cs.awake = true
+			if rs.sched != nil {
+				rs.sched.live++
+				// The pop freed a slot in the (from, to) pair (spawn messages
+				// count against pair capacity), so a back-pressured sender can
+				// retry.
+				rs.notifyPop(from, cs.id)
+			}
 			rs.setPC(cs, idx)
 			rs.run.Spawns++
 			rs.lastProg = rs.now
@@ -721,6 +737,7 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 		if rs.tr != nil {
 			rs.tr.Recv(rs.now, cs.id, in.Core, seq)
 		}
+		rs.notifyPop(int(in.Core), cs.id)
 		rs.charge(cs.id, stats.Busy)
 		rs.setPC(cs, cs.pc+1)
 		rs.lastProg = rs.now
@@ -738,8 +755,14 @@ func (rs *runState) stepDecoupled(cs *coreState) (acted bool, wake int64, err er
 	switch {
 	case cs.halted:
 		cs.done = true
+		if rs.sched != nil {
+			rs.sched.live--
+		}
 	case in.Op == isa.SLEEP:
 		cs.awake = false
+		if rs.sched != nil {
+			rs.sched.live--
+		}
 		if rs.tr != nil {
 			rs.tr.Sleep(rs.now, cs.id)
 		}
@@ -1044,6 +1067,7 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 		if rs.tr != nil {
 			rs.tr.Send(rs.now, cs.id, int(in.Core), seq, arrive)
 		}
+		rs.notifyArrive(int(in.Core), arrive)
 	case isa.BCAST:
 		if coupled {
 			return nil // phase A already drove the wires
@@ -1056,6 +1080,7 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 				if rs.tr != nil {
 					rs.tr.Send(rs.now, cs.id, c, seq, arrive)
 				}
+				rs.notifyArrive(c, arrive)
 			}
 		}
 	case isa.SPAWN:
@@ -1066,6 +1091,7 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 		if rs.tr != nil {
 			rs.tr.Spawn(rs.now, cs.id, int(in.Core), seq, arrive)
 		}
+		rs.notifyArrive(int(in.Core), arrive)
 	case isa.SLEEP:
 		if coupled {
 			return fmt.Errorf("core %d: SLEEP in coupled mode", cs.id)
@@ -1082,6 +1108,9 @@ func (rs *runState) execInst(cs *coreState, in *isa.Inst, coupled bool) error {
 			return fmt.Errorf("core %d: TXCOMMIT without TXBEGIN", cs.id)
 		}
 		cs.txwait = true
+		if rs.sched != nil {
+			rs.sched.txWait++
+		}
 	case isa.TXABORT:
 		return fmt.Errorf("core %d: explicit TXABORT is not emitted by the compiler", cs.id)
 	default:

@@ -1,0 +1,348 @@
+package core
+
+import "math/bits"
+
+// wakeSched is the decoupled event loop's activity-indexed scheduler. The
+// reference stepper (and the pre-scheduler event loop) re-scanned every
+// core on every cycle, so per-event cost grew with machine width even when
+// two cores out of 64 were active. The scheduler replaces the scan with
+// three indexed structures:
+//
+//   - runnable: a bitmask of cores that must be evaluated at the current
+//     cycle, iterated in ascending core-id order (the same order the
+//     reference stepper visits cores, which same-cycle send/receive
+//     interactions observe);
+//   - a binary min-heap of (wakeAt, core) pairs holding each blocked
+//     core's next scheduled evaluation cycle;
+//   - wakeAt: the per-core authoritative wake time. A heap entry is live
+//     only while it matches wakeAt (lazy invalidation: rescheduling never
+//     searches the heap, it pushes a new entry and lets the stale one be
+//     discarded on pop).
+//
+// Cores with no scheduled wake (wakeAt == neverWakes) are woken by the
+// notify hooks when another core's progress could unblock them: a message
+// enqueue schedules the receiver at the arrival cycle, a queue pop
+// schedules a back-pressured sender. Spurious wakes are harmless — an
+// evaluation that cannot act charges the cycle with exactly the kind the
+// lazy catch-up would have used and goes back to sleep — so the hooks
+// over-approximate "could unblock" instead of decoding why a core is
+// blocked.
+//
+// All slices live on the Machine and are resized only on width growth, so
+// the event loop stays allocation-free after the first region (the
+// TestEventLoopZeroAllocs discipline).
+type wakeSched struct {
+	// wakeAt[c] is core c's next evaluation cycle (neverWakes = none
+	// scheduled; only a notify hook can revive it).
+	wakeAt []int64
+	// heapT/heapC are the parallel-array binary min-heap over (time, core).
+	heapT []int64
+	heapC []int32
+	// runnable marks cores to evaluate at the current cycle, one bit per
+	// core; next marks cores booked for exactly the following cycle — the
+	// overwhelmingly common wake (every core that acts retries next cycle),
+	// kept out of the heap so a fully-active machine pays two bitmask ops
+	// per core per cycle instead of a heap round-trip.
+	runnable []uint64
+	next     []uint64
+	// now mirrors the loop's current cycle so schedule can route next-cycle
+	// bookings to the next mask.
+	now int64
+	// live counts cores that are awake and not done (the quiet-exit
+	// condition is live == 0 with no pending messages); txWait counts cores
+	// parked at the DOALL commit barrier.
+	live   int
+	txWait int
+}
+
+// begin sizes the scheduler for n cores and clears all state. Backing
+// arrays are kept across regions and runs.
+func (sc *wakeSched) begin(n int) {
+	words := (n + 63) / 64
+	if cap(sc.wakeAt) < n {
+		sc.wakeAt = make([]int64, n)
+		sc.heapT = make([]int64, 0, n)
+		sc.heapC = make([]int32, 0, n)
+		sc.runnable = make([]uint64, words)
+		sc.next = make([]uint64, words)
+	}
+	sc.wakeAt = sc.wakeAt[:n]
+	for i := range sc.wakeAt {
+		sc.wakeAt[i] = neverWakes
+	}
+	sc.heapT = sc.heapT[:0]
+	sc.heapC = sc.heapC[:0]
+	sc.runnable = sc.runnable[:words]
+	clear(sc.runnable)
+	sc.next = sc.next[:words]
+	clear(sc.next)
+	sc.live = 0
+	sc.txWait = 0
+}
+
+// markRunnable queues core c for evaluation at the current cycle.
+func (sc *wakeSched) markRunnable(c int, now int64) {
+	sc.wakeAt[c] = now
+	sc.runnable[c>>6] |= 1 << uint(c&63)
+}
+
+// schedule offers cycle t as core c's next evaluation; offers at or after
+// the current booking are discarded, earlier ones replace it (the stale
+// heap or next-mask entry is lazily invalidated). Next-cycle bookings go
+// to the next mask; later ones to the heap.
+func (sc *wakeSched) schedule(c int, t int64) {
+	if t >= sc.wakeAt[c] {
+		return
+	}
+	sc.wakeAt[c] = t
+	if t == sc.now+1 {
+		sc.next[c>>6] |= 1 << uint(c&63)
+		return
+	}
+	sc.push(t, int32(c))
+}
+
+// nextAny reports whether any core is booked for the following cycle.
+func (sc *wakeSched) nextAny() bool {
+	for _, w := range sc.next {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// push adds a heap entry.
+func (sc *wakeSched) push(t int64, c int32) {
+	sc.heapT = append(sc.heapT, t)
+	sc.heapC = append(sc.heapC, c)
+	i := len(sc.heapT) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if sc.heapT[p] <= sc.heapT[i] {
+			break
+		}
+		sc.heapT[p], sc.heapT[i] = sc.heapT[i], sc.heapT[p]
+		sc.heapC[p], sc.heapC[i] = sc.heapC[i], sc.heapC[p]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum heap entry.
+func (sc *wakeSched) pop() (t int64, c int32) {
+	t, c = sc.heapT[0], sc.heapC[0]
+	last := len(sc.heapT) - 1
+	sc.heapT[0], sc.heapC[0] = sc.heapT[last], sc.heapC[last]
+	sc.heapT = sc.heapT[:last]
+	sc.heapC = sc.heapC[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && sc.heapT[l] < sc.heapT[min] {
+			min = l
+		}
+		if r < last && sc.heapT[r] < sc.heapT[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		sc.heapT[min], sc.heapT[i] = sc.heapT[i], sc.heapT[min]
+		sc.heapC[min], sc.heapC[i] = sc.heapC[i], sc.heapC[min]
+		i = min
+	}
+	return t, c
+}
+
+// ---------- notify hooks (no-ops outside the event-scheduled loop) ----------
+
+// notifyArrive wakes core `to` at a message's arrival cycle: the message
+// may be exactly what it is blocked on (a RECV on a previously-empty pair,
+// a spawn for a sleeping core). The arrival must be offered even when a
+// wake is already booked — two senders can dispatch to one receiver in the
+// same cycle with the farther sender issuing first (lower id), and the
+// nearer message's earlier arrival has to pull the booking forward;
+// schedule discards the offer when the booked wake is already sooner. If
+// the core turns out to be blocked on something else the extra evaluation
+// is harmless.
+func (rs *runState) notifyArrive(to int, at int64) {
+	if sc := rs.sched; sc != nil {
+		sc.schedule(to, at)
+	}
+}
+
+// notifyPop wakes the popped message's sender: the pop freed a slot in the
+// (sender, receiver) pair, so a sender blocked on that pair's back-pressure
+// can retry. The reference stepper visits cores in id order within a cycle,
+// so a sender AFTER the receiver observes the freed slot in the same cycle
+// and one BEFORE it (already evaluated against the full queue this cycle)
+// retries next cycle; the hook schedules exactly those cycles, pulling any
+// later booking (e.g. a spurious arrival wake) forward.
+func (rs *runState) notifyPop(sender, receiver int) {
+	sc := rs.sched
+	if sc == nil {
+		return
+	}
+	if sender > receiver {
+		if sc.wakeAt[sender] > rs.now {
+			sc.markRunnable(sender, rs.now)
+		}
+	} else {
+		sc.schedule(sender, rs.now+1)
+	}
+}
+
+// ---------- the event-scheduled decoupled loop ----------
+
+// catchUpTo charges core cs for the cycles [cs.chargedUntil, to) it sat
+// unevaluated. The scheduler only leaves a core unevaluated while its
+// blocked state cannot change (it is always evaluated at its wake cycle
+// and whenever a notify hook fires), so the whole window carries one
+// blocked-state classification and skipDecoupled's span decomposition
+// charges it exactly as the reference stepper's per-cycle charges would.
+func (rs *runState) catchUpTo(cs *coreState, to int64) {
+	if cs.chargedUntil >= to {
+		return
+	}
+	rs.skipDecoupled(cs, cs.chargedUntil, to)
+	cs.chargedUntil = to
+}
+
+// catchUpAll charges every core through cycle to-1 (region exit, commit
+// barriers and the fallback hand-off need all cores' accounting current).
+func (rs *runState) catchUpAll(to int64) {
+	for _, cs := range rs.cores {
+		rs.catchUpTo(cs, to)
+	}
+}
+
+// runDecoupledEvent is the activity-indexed decoupled loop: per processed
+// cycle it evaluates only the cores in the runnable set — cores that acted
+// last cycle, cores whose scheduled wake fired, cores woken by a notify
+// hook — and jumps the clock to the next scheduled wake when the set
+// drains. Idle cores cost nothing per event; their stall accounting is
+// settled lazily by catchUpTo. Results are bit-identical to the reference
+// stepper (the cycle-exactness tests diff every number at 4/16/32/64
+// cores).
+func (rs *runState) runDecoupledEvent() error {
+	cr := rs.cr
+	sc := &rs.m.sched
+	sc.begin(len(rs.cores))
+	sc.now = rs.now
+	rs.sched = sc
+	for _, cs := range rs.cores {
+		cs.chargedUntil = rs.now
+		if cs.awake {
+			sc.markRunnable(cs.id, rs.now)
+			sc.live++
+		}
+	}
+	// rs.sched is cleared on every exit path (not via defer: the loop must
+	// stay free of anything that could allocate, and a forgotten path is
+	// still safe — RunContext rebuilds runState wholesale each run).
+	for {
+		if err := rs.checkCancel(); err != nil {
+			rs.sched = nil
+			return err
+		}
+		// Evaluate the runnable set in ascending core-id order. The mask
+		// word is re-read every iteration: a notifyPop may insert a
+		// higher-numbered sender mid-cycle (the same-cycle retry the
+		// reference stepper's id-ordered scan performs).
+		for w := 0; w < len(sc.runnable); w++ {
+			for sc.runnable[w] != 0 {
+				bit := bits.TrailingZeros64(sc.runnable[w])
+				sc.runnable[w] &^= 1 << uint(bit)
+				c := w<<6 | bit
+				cs := rs.cores[c]
+				sc.wakeAt[c] = neverWakes // consume the booking
+				rs.catchUpTo(cs, rs.now)
+				acted, wake, err := rs.stepDecoupled(cs)
+				if err != nil {
+					rs.sched = nil
+					return err
+				}
+				cs.chargedUntil = rs.now + 1
+				if acted {
+					sc.schedule(c, rs.now+1)
+				} else if wake != neverWakes {
+					sc.schedule(c, wake)
+				}
+			}
+		}
+		// Transactional commit barrier (state only changes through steps,
+		// and every processed cycle stepped at least one core).
+		if cr.TxCores > 0 {
+			if rs.sys.TM.AnyAborted() {
+				// Settle every core's accounting through this cycle — the
+				// reference stepper charged them all before detecting the
+				// abort — then replay serially from the same cycle.
+				rs.catchUpAll(rs.now + 1)
+				rs.sched = nil
+				return rs.runFallback()
+			}
+			if sc.txWait > 0 && sc.txWait == cr.TxCores {
+				for _, cs := range rs.cores {
+					if !cs.txwait {
+						continue
+					}
+					rs.catchUpTo(cs, rs.now+1)
+					if !rs.sys.TM.Commit(cs.id) {
+						rs.catchUpAll(rs.now + 1)
+						rs.sched = nil
+						return rs.runFallback()
+					}
+					if rs.tr != nil {
+						rs.tr.TxCommit(rs.now, cs.id)
+					}
+					cs.txwait, cs.txactive = false, false
+					sc.txWait--
+					sc.schedule(cs.id, rs.now+1)
+				}
+			}
+		}
+		// Quiet exit: every core done or asleep and no message in flight.
+		// Settle the lazy accounting through this cycle first (the
+		// reference stepper charged every core on its way to noticing).
+		if sc.live == 0 && !rs.queue.PendingAny() {
+			rs.catchUpAll(rs.now + 1)
+			rs.now++
+			rs.sched = nil
+			return nil
+		}
+		// Jump to the next scheduled wake: the following cycle if any core
+		// is booked for it, else the earliest heap entry — whichever is
+		// sooner. No booking anywhere means no core can ever act again:
+		// the event-driven deadlock proof.
+		hasNext := sc.nextAny()
+		if !hasNext && len(sc.heapT) == 0 {
+			rs.now++
+			rs.sched = nil
+			return rs.deadlock()
+		}
+		nextCycle := rs.now + 1
+		next := neverWakes
+		if hasNext {
+			next = nextCycle
+		}
+		if len(sc.heapT) > 0 && sc.heapT[0] < next {
+			next = sc.heapT[0]
+		}
+		if hasNext && next == nextCycle {
+			// Promote the next-cycle bookings wholesale: runnable is fully
+			// consumed at this point, so the masks just swap roles.
+			sc.runnable, sc.next = sc.next, sc.runnable
+		}
+		rs.now = next
+		sc.now = next
+		for len(sc.heapT) > 0 && sc.heapT[0] == next {
+			t, c := sc.pop()
+			if sc.wakeAt[c] == t {
+				sc.runnable[c>>6] |= 1 << uint(c&63)
+			}
+			// A mismatched entry is stale (lazily invalidated): the core
+			// was rebooked or evaluated since it was pushed.
+		}
+	}
+}

@@ -167,3 +167,28 @@ func TestEventLoopZeroAllocs(t *testing.T) {
 		t.Errorf("event loop allocates per iteration: %v allocs/run at 8 trips, %v at 512", short, long)
 	}
 }
+
+// TestEventLoopZeroAllocsWide is the many-core twin of the guard above: a
+// warm run carries a small constant allocation overhead (the result
+// struct), but the decoupled event loop — wake scheduler, queue probes and
+// lazy stall settlement included — must not allocate per cycle or per
+// core, so a warm 64-core machine (idle mesh or fully active) allocates no
+// more per run than a warm 8-core one.
+func TestEventLoopZeroAllocsWide(t *testing.T) {
+	measure := func(cp *CompiledProgram) float64 {
+		m := New(DefaultConfig(cp.Cores))
+		run := func() {
+			if _, err := m.Run(cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the machine's reusable scratch state
+		return testing.AllocsPerRun(20, run)
+	}
+	for _, prog := range []func(int) *CompiledProgram{wideIdlePipelineProgram, allActiveProgram} {
+		narrow, wide := prog(8), prog(64)
+		if n, w := measure(narrow), measure(wide); w > n {
+			t.Errorf("%s: warm 64-core event loop allocates %v per run, 8-core %v — scheduler state scales with width", wide.Name, w, n)
+		}
+	}
+}

@@ -28,7 +28,10 @@ func TestRandomProgramsEventDrivenMatchesReference(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
 		strat := strategies[seed%len(strategies)]
-		cores := 2 + 2*(seed/len(strategies)%2)
+		// Rotate through the paper widths and the many-core extension widths
+		// so every strategy's code generator meets wide, mostly-idle meshes.
+		widths := []int{2, 4, 16, 32, 64}
+		cores := widths[seed/len(strategies)%len(widths)]
 		t.Run(fmt.Sprintf("seed%d_%v_%dcores", seed, strat, cores), func(t *testing.T) {
 			t.Parallel()
 			p, err := workload.Random(int64(seed), 1+seed%3)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,50 +11,60 @@ import (
 	"voltron/internal/workload"
 )
 
+// referenceCores is the set of machine widths the differential covers: the
+// paper's 4-core configuration plus the many-core extension widths, where
+// the activity-indexed scheduler skips over mostly-idle meshes and must
+// still be cycle-exact against the naive stepper.
+var referenceCores = []int{4, 16, 32, 64}
+
 // TestEventDrivenMatchesReference compiles every workload with the hybrid
 // strategy and runs it on both the event-driven machine and the retained
-// naive reference stepper. Cycle skipping must be invisible: per-region
-// cycles, the full stall/mode breakdown, memory statistics and the final
-// memory image all have to match exactly, benchmark by benchmark.
+// naive reference stepper, at every width in referenceCores. Cycle skipping
+// must be invisible: per-region cycles, the full stall/mode breakdown,
+// memory statistics and the final memory image all have to match exactly,
+// benchmark by benchmark.
 func TestEventDrivenMatchesReference(t *testing.T) {
-	const cores = 4
-	for _, name := range workload.Names() {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			p, err := workload.Build(name)
-			if err != nil {
-				t.Fatalf("build: %v", err)
-			}
-			pr, err := prof.Collect(p)
-			if err != nil {
-				t.Fatalf("profile: %v", err)
-			}
-			cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: compiler.Hybrid, Profile: pr, Workers: 1})
-			if err != nil {
-				t.Fatalf("compile: %v", err)
-			}
-			ev, err := core.New(core.DefaultConfig(cores)).Run(cp)
-			if err != nil {
-				t.Fatalf("event run: %v", err)
-			}
-			refCfg := core.DefaultConfig(cores)
-			refCfg.Reference = true
-			rf, err := core.New(refCfg).Run(cp)
-			if err != nil {
-				t.Fatalf("reference run: %v", err)
-			}
-			if !reflect.DeepEqual(ev.RegionCycles, rf.RegionCycles) {
-				t.Errorf("RegionCycles: event %v, reference %v", ev.RegionCycles, rf.RegionCycles)
-			}
-			if !reflect.DeepEqual(ev.Run, rf.Run) {
-				t.Errorf("stats diverge:\nevent     %+v\nreference %+v", ev.Run, rf.Run)
-			}
-			if !reflect.DeepEqual(ev.MemStats, rf.MemStats) {
-				t.Errorf("memory stats diverge:\nevent     %+v\nreference %+v", ev.MemStats, rf.MemStats)
-			}
-			if !ev.Mem.Equal(rf.Mem) {
-				t.Error("final memory images diverge")
-			}
-		})
+	for _, cores := range referenceCores {
+		cores := cores
+		for _, name := range workload.Names() {
+			name := name
+			t.Run(fmt.Sprintf("%dcore/%s", cores, name), func(t *testing.T) {
+				t.Parallel()
+				p, err := workload.Build(name)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				pr, err := prof.Collect(p)
+				if err != nil {
+					t.Fatalf("profile: %v", err)
+				}
+				cp, err := compiler.Compile(p, compiler.Options{Cores: cores, Strategy: compiler.Hybrid, Profile: pr, Workers: 1})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				ev, err := core.New(core.DefaultConfig(cores)).Run(cp)
+				if err != nil {
+					t.Fatalf("event run: %v", err)
+				}
+				refCfg := core.DefaultConfig(cores)
+				refCfg.Reference = true
+				rf, err := core.New(refCfg).Run(cp)
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				if !reflect.DeepEqual(ev.RegionCycles, rf.RegionCycles) {
+					t.Errorf("RegionCycles: event %v, reference %v", ev.RegionCycles, rf.RegionCycles)
+				}
+				if !reflect.DeepEqual(ev.Run, rf.Run) {
+					t.Errorf("stats diverge:\nevent     %+v\nreference %+v", ev.Run, rf.Run)
+				}
+				if !reflect.DeepEqual(ev.MemStats, rf.MemStats) {
+					t.Errorf("memory stats diverge:\nevent     %+v\nreference %+v", ev.MemStats, rf.MemStats)
+				}
+				if !ev.Mem.Equal(rf.Mem) {
+					t.Error("final memory images diverge")
+				}
+			})
+		}
 	}
 }

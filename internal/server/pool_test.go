@@ -67,6 +67,77 @@ func TestMachinePoolExclusiveOwnership(t *testing.T) {
 	}
 }
 
+// TestMachinePoolWideShapeReset cycles warm machines through many-core
+// shape changes under -race: 8 goroutines run a hybrid job at 16, 32 and
+// 64 cores (one 64-core variant on a non-default 16×4 mesh) against one
+// small pool, deliberately sharing a single pool key so every get may hand
+// back a machine of a different width and Reset must take the rebuild path
+// (cores, memory and mesh columns are rebuild keys). Every run has to
+// reproduce the result a fresh machine computes for that shape.
+func TestMachinePoolWideShapeReset(t *testing.T) {
+	type shape struct {
+		cp   *core.CompiledProgram
+		cfg  core.Config
+		want string
+	}
+	fingerprint := func(res *core.RunResult) string {
+		return fmt.Sprintf("%v %+v %+v", res.RegionCycles, res.Run, res.MemStats)
+	}
+	var shapes []shape
+	for _, v := range []struct{ cores, mesh int }{{16, 0}, {32, 0}, {64, 0}, {64, 16}} {
+		machine := ""
+		if v.mesh != 0 {
+			machine = fmt.Sprintf(`, "machine": {"mesh_cols": %d}`, v.mesh)
+		}
+		job := fmt.Sprintf(`{"program": {"name": "wide", "kernels": [
+			{"kind": "doall-map", "name": "m", "n": 96, "work": 2},
+			{"kind": "serial-chain", "name": "c", "n": 16}
+		]}, "strategy": "hybrid", "cores": %d%s}`, v.cores, machine)
+		req, _, err := spec.DecodeJob(strings.NewReader(job))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Normalize(func(string) bool { return false }); err != nil {
+			t.Fatal(err)
+		}
+		p, err := req.Program.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := compiler.Compile(p, req.CompilerOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := req.MachineConfig(nil)
+		res, err := core.New(cfg).RunContext(context.Background(), cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes = append(shapes, shape{cp: cp, cfg: cfg, want: fingerprint(res)})
+	}
+	pool := newMachinePool(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				s := shapes[(g+i)%len(shapes)]
+				m := pool.get("shared", s.cfg)
+				res, err := m.RunContext(context.Background(), s.cp)
+				if err != nil {
+					t.Error(err)
+				} else if got := fingerprint(res); got != s.want {
+					t.Errorf("reset machine diverged at %d cores:\ngot  %s\nwant %s",
+						s.cfg.Cores, got, s.want)
+				}
+				pool.put("shared", m)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // TestPooledMatchesFreshServer runs the same job mix against a pooled
 // server and one with pooling disabled; every response body must be
 // byte-identical (the response is rendered from the RunResult, so equal

@@ -68,6 +68,9 @@ func TestCompileKeyIgnoresRunOnlyFields(t *testing.T) {
 		{Bench: "x", Trace: true},
 		{Bench: "x", Baseline: true},
 		{Bench: "x", Machine: MachineOptions{RegionSyncLat: 9, QueueBaseLat: 7, QueueCap: -1}},
+		// The mesh-shape knob changes the machine, not the compiled artifact
+		// (the compiler estimates latencies against the default mesh).
+		{Bench: "x", Machine: MachineOptions{MeshCols: 4}},
 	}
 	for _, r := range sameArtifact {
 		r = normalized(t, r)
@@ -143,6 +146,7 @@ func TestMachineKeyGroupsPools(t *testing.T) {
 		{Bench: "x", Machine: MachineOptions{QueueBaseLat: 7}},
 		{Bench: "x", Machine: MachineOptions{QueueHopLat: 3}},
 		{Bench: "x", Machine: MachineOptions{QueueCap: -1}},
+		{Bench: "x", Machine: MachineOptions{MeshCols: 4}},
 	}
 	seen := map[string]bool{base.MachineKey(): true}
 	for _, r := range differentPool {

@@ -35,8 +35,10 @@ const (
 	// DefaultSelect is the default strategy-selection mode: full measured
 	// selection (paper §4.2), the most faithful and the most expensive.
 	DefaultSelect = "measured"
-	// MaxCores bounds the machine width of one job.
-	MaxCores = 16
+	// MaxCores bounds the machine width of one job. 64 cores is an 8×8
+	// near-square mesh; the activity-indexed event scheduler keeps wide
+	// mostly-idle machines cheap, so many-core jobs are first-class.
+	MaxCores = 64
 )
 
 // JobRequest describes one compile-and-simulate job: a program (by
@@ -92,7 +94,14 @@ type MachineOptions struct {
 	ModeSwitchLat int64 `json:"mode_switch_lat,omitempty"`
 	QueueBaseLat  int64 `json:"queue_base_lat,omitempty"`
 	QueueHopLat   int64 `json:"queue_hop_lat,omitempty"`
-	QueueCap      int   `json:"queue_cap,omitempty"`
+	// QueueCap sizes the per-(sender,receiver) CAM receive queue; a full
+	// pair back-pressures its sender. -1 means unbounded.
+	QueueCap int `json:"queue_cap,omitempty"`
+	// MeshCols fixes the mesh column count (the mesh-shape ablation knob,
+	// e.g. comparing the near-square default against a 4-column strip).
+	// 0 means the near-square default; otherwise it must be in [4, cores]
+	// (narrower meshes would break coupled row-group adjacency).
+	MeshCols int `json:"mesh_cols,omitempty"`
 }
 
 // ProgramSpec is an inline program.
@@ -215,6 +224,9 @@ func (r *JobRequest) Normalize(known func(bench string) bool) error {
 	}
 	if r.Cores < 1 || r.Cores > MaxCores {
 		return fmt.Errorf("cores = %d out of range [1, %d]", r.Cores, MaxCores)
+	}
+	if mc := r.Machine.MeshCols; mc != 0 && (mc < 4 || mc > r.Cores) {
+		return fmt.Errorf("mesh_cols = %d out of range (0 for the near-square default, or [4, cores])", mc)
 	}
 	if r.Compiler.StaticSelection {
 		// Deprecated alias: fold into the canonical field so both spellings
@@ -363,9 +375,10 @@ func (r *JobRequest) CompileKey() string {
 // after a Reset); program, strategy, trace and baseline are not part of it
 // because they select what runs, not the machine it runs on.
 func (r *JobRequest) MachineKey() string {
-	return fmt.Sprintf("cores=%d rs=%d ms=%d qb=%d qh=%d qc=%d",
+	return fmt.Sprintf("cores=%d rs=%d ms=%d qb=%d qh=%d qc=%d mesh=%d",
 		r.Cores, r.Machine.RegionSyncLat, r.Machine.ModeSwitchLat,
-		r.Machine.QueueBaseLat, r.Machine.QueueHopLat, r.Machine.QueueCap)
+		r.Machine.QueueBaseLat, r.Machine.QueueHopLat, r.Machine.QueueCap,
+		r.Machine.MeshCols)
 }
 
 // CompilerOpts lowers the request to compiler.Options (Workers is the
@@ -401,6 +414,7 @@ func (r *JobRequest) MachineConfig(tr *trace.Tracer) core.Config {
 	cfg.QueueBaseLat = r.Machine.QueueBaseLat
 	cfg.QueueHopLat = r.Machine.QueueHopLat
 	cfg.QueueCap = r.Machine.QueueCap
+	cfg.MeshCols = r.Machine.MeshCols
 	cfg.Tracer = tr
 	return cfg
 }
@@ -530,7 +544,17 @@ func StrategyFlag(fs *flag.FlagSet) *string {
 
 // CoresFlag binds the shared -cores flag.
 func CoresFlag(fs *flag.FlagSet) *int {
-	return fs.Int("cores", DefaultCores, fmt.Sprintf("number of cores (1..%d)", MaxCores))
+	return fs.Int("cores", DefaultCores,
+		fmt.Sprintf("number of cores (1..%d; wide machines use a near-square mesh)", MaxCores))
+}
+
+// ValidateCores range-checks a -cores flag value against the same bound
+// Normalize enforces for HTTP jobs.
+func ValidateCores(n int) error {
+	if n < 1 || n > MaxCores {
+		return fmt.Errorf("-cores = %d out of range [1, %d]", n, MaxCores)
+	}
+	return nil
 }
 
 // SelectFlag binds the shared -select flag (strategy-selection mode).

@@ -17,37 +17,69 @@ import (
 // satisfy the poll: only new network activity can unblock the receiver.
 const NoWake = int64(math.MaxInt64)
 
-// Topology arranges n cores in a mesh; core id = y*Cols + x.
+// Topology arranges n cores in a mesh; core id = y*Cols + x. When N is
+// nonzero it is the number of populated positions: a near-square mesh over
+// n cores may leave ghost positions at the tail of the last row, which
+// route traffic (the mesh wiring exists) but hold no core.
 type Topology struct {
 	Cols, Rows int
+	N          int
 }
 
 // TopologyFor returns the paper's arrangements: 1 core (1×1), 2 cores
-// (1×2 — adjacent), 4 cores (2×2), and generally a near-square mesh.
+// (2×1 — adjacent), 4 cores (2×2), up to 8 cores a 4-column mesh, and a
+// near-square mesh beyond that (never narrower than 4 columns, so the
+// coupled compiler's 4-core row groups stay intact): 16 cores is 4×4,
+// 32 is 6×6 with four ghost positions, 64 is 8×8.
 func TopologyFor(n int) Topology {
 	switch {
 	case n <= 1:
-		return Topology{1, 1}
+		return Topology{1, 1, n}
 	case n == 2:
-		return Topology{2, 1}
+		return Topology{2, 1, n}
 	case n <= 4:
-		return Topology{2, (n + 1) / 2}
+		return Topology{2, (n + 1) / 2, n}
 	case n <= 8:
-		return Topology{4, (n + 3) / 4}
+		return Topology{4, (n + 3) / 4, n}
 	default:
 		cols := 4
-		return Topology{cols, (n + cols - 1) / cols}
+		for cols*cols < n {
+			cols++
+		}
+		return TopologyCols(n, cols)
 	}
 }
 
-// Cores returns the number of mesh positions.
+// TopologyCols arranges n cores over a fixed column count (the mesh-shape
+// knob): rows = ceil(n/cols), ghost positions in the last row when cols
+// does not divide n.
+func TopologyCols(n, cols int) Topology {
+	if cols < 1 {
+		cols = 1
+	}
+	if cols > n {
+		cols = n
+	}
+	return Topology{cols, (n + cols - 1) / cols, n}
+}
+
+// Cores returns the number of mesh positions (including ghost positions).
 func (t Topology) Cores() int { return t.Cols * t.Rows }
+
+// cores returns the populated position count (all of them for literal
+// topologies that leave N zero).
+func (t Topology) cores() int {
+	if t.N > 0 {
+		return t.N
+	}
+	return t.Cols * t.Rows
+}
 
 // Coord returns the (x, y) mesh position of a core.
 func (t Topology) Coord(core int) (x, y int) { return core % t.Cols, core / t.Cols }
 
 // Neighbor returns the core adjacent to c in direction d, or -1 at the mesh
-// edge.
+// edge and at ghost positions (mesh wiring with no core behind it).
 func (t Topology) Neighbor(c int, d isa.Direction) int {
 	x, y := t.Coord(c)
 	switch d {
@@ -63,7 +95,11 @@ func (t Topology) Neighbor(c int, d isa.Direction) int {
 	if x < 0 || x >= t.Cols || y < 0 || y >= t.Rows {
 		return -1
 	}
-	return y*t.Cols + x
+	id := y*t.Cols + x
+	if id >= t.cores() {
+		return -1
+	}
+	return id
 }
 
 // Hops returns the Manhattan distance between two cores.
@@ -196,11 +232,40 @@ type message struct {
 	seq      int64
 }
 
+// fifo is one in-order message queue with an O(1) head pop. Sequence
+// numbers are assigned in send order, so within one fifo they are strictly
+// increasing and the head is always the oldest (lowest-seq) message — the
+// exact message the CAM's oldest-match pop selects.
+type fifo struct {
+	buf  []message
+	head int
+}
+
+func (f *fifo) empty() bool    { return f.head == len(f.buf) }
+func (f *fifo) peek() *message { return &f.buf[f.head] }
+func (f *fifo) push(m message) { f.buf = append(f.buf, m) }
+func (f *fifo) reset()         { f.buf = f.buf[:0]; f.head = 0 }
+func (f *fifo) pop() (m message) {
+	m = f.buf[f.head]
+	f.head++
+	if f.head == len(f.buf) {
+		// Drained: rewind so the backing array is reused, not regrown.
+		f.buf, f.head = f.buf[:0], 0
+	}
+	return m
+}
+
 // QueueNet models the queue-mode network: SEND enqueues a routed message
 // (latency 2 + hops: one cycle into the send queue, one per hop, one out of
 // the receive queue), RECV performs a CAM lookup by sender id in the
 // receive queue. Spawn messages (start addresses) travel the same network
 // but match a separate RECV used by the idle-core loop.
+//
+// The CAM is modeled as one FIFO per (sender, receiver) pair plus one spawn
+// FIFO per receiver: RECV matches by sender id and pops the oldest match,
+// which is exactly the head of that pair's FIFO, so Recv, RecvSpawn and the
+// NextRecvAt/NextSpawnAt wake probes are all O(1) instead of a linear CAM
+// walk — the probes sit on the event scheduler's hot path at every width.
 type QueueNet struct {
 	T Topology
 	// BaseLat is the fixed part of the latency (2 in the paper).
@@ -215,12 +280,16 @@ type QueueNet struct {
 	// deltas sum to zero, so a cycle of blocked senders is impossible
 	// (deadlock freedom). 0 means unbounded.
 	Cap int
-	// inflight per destination core.
-	queues [][]message
-	// counts caches the per-(sender, receiver) queue occupancy, indexed
-	// from*Cores()+to, so CanSend is O(1) instead of a queue scan.
+	// pairs[from*Cores()+to] holds the non-spawn messages from→to;
+	// spawns[to] holds the spawn messages bound for core to.
+	pairs  []fifo
+	spawns []fifo
+	// counts caches the per-(sender, receiver) queue occupancy (spawn
+	// messages included), indexed from*Cores()+to, so CanSend is O(1).
 	counts []int32
-	seq    int64
+	// pending is the total queued message count (PendingAny's O(1) answer).
+	pending int
+	seq     int64
 	// Messages counts total sends; RecvWaits counts RECV polls that found
 	// nothing ready (an idle-cycle measure).
 	Messages  int64
@@ -240,20 +309,25 @@ const (
 // a 16-entry receive queue per core.
 func NewQueueNet(t Topology) *QueueNet {
 	q := &QueueNet{T: t, BaseLat: DefaultBaseLat, HopLat: DefaultHopLat, Cap: DefaultCap}
-	q.queues = make([][]message, t.Cores())
+	q.pairs = make([]fifo, t.Cores()*t.Cores())
+	q.spawns = make([]fifo, t.Cores())
 	q.counts = make([]int32, t.Cores()*t.Cores())
 	return q
 }
 
 // Reset restores NewQueueNet's initial state — default latencies and
 // capacity, empty queues, zeroed sequence and counters — while keeping the
-// per-destination queue backing arrays.
+// per-queue backing arrays.
 func (q *QueueNet) Reset() {
 	q.BaseLat, q.HopLat, q.Cap = DefaultBaseLat, DefaultHopLat, DefaultCap
-	for i := range q.queues {
-		q.queues[i] = q.queues[i][:0]
+	for i := range q.pairs {
+		q.pairs[i].reset()
+	}
+	for i := range q.spawns {
+		q.spawns[i].reset()
 	}
 	clear(q.counts)
+	q.pending = 0
 	q.seq = 0
 	q.Messages, q.RecvWaits = 0, 0
 }
@@ -274,12 +348,13 @@ func (q *QueueNet) Send(from, to int, v uint64, cycle int64) (seq, arriveAt int6
 	q.seq++
 	hops := int64(q.T.Hops(from, to))
 	arriveAt = cycle + q.BaseLat + hops*q.HopLat
-	q.queues[to] = append(q.queues[to], message{
+	q.pairs[from*q.T.Cores()+to].push(message{
 		from: from, to: to, val: v,
 		readyAt: arriveAt,
 		seq:     q.seq,
 	})
 	q.counts[from*q.T.Cores()+to]++
+	q.pending++
 	q.Messages++
 	return q.seq, arriveAt
 }
@@ -290,12 +365,13 @@ func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) (seq, arriv
 	q.seq++
 	hops := int64(q.T.Hops(from, to))
 	arriveAt = cycle + q.BaseLat + hops*q.HopLat
-	q.queues[to] = append(q.queues[to], message{
+	q.spawns[to].push(message{
 		from: from, to: to, val: addr, spawn: true,
 		readyAt: arriveAt,
 		seq:     q.seq,
 	})
 	q.counts[from*q.T.Cores()+to]++
+	q.pending++
 	q.Messages++
 	return q.seq, arriveAt
 }
@@ -305,69 +381,44 @@ func (q *QueueNet) SendSpawn(from, to int, addr uint64, cycle int64) (seq, arriv
 // popped message's sequence number (as returned by Send) identifies the
 // matching send for trace flow binding.
 func (q *QueueNet) Recv(to, from int, cycle int64) (v uint64, seq int64, ok bool) {
-	qq := q.queues[to]
-	best := -1
-	for i, m := range qq {
-		if m.spawn || m.from != from {
-			continue
-		}
-		if best < 0 || m.seq < qq[best].seq {
-			best = i
-		}
-	}
-	if best < 0 || qq[best].readyAt > cycle {
+	f := &q.pairs[from*q.T.Cores()+to]
+	if f.empty() || f.peek().readyAt > cycle {
 		q.RecvWaits++
 		return 0, 0, false
 	}
-	v, seq = qq[best].val, qq[best].seq
-	q.counts[qq[best].from*q.T.Cores()+to]--
-	q.queues[to] = append(qq[:best], qq[best+1:]...)
-	return v, seq, true
+	m := f.pop()
+	q.counts[from*q.T.Cores()+to]--
+	q.pending--
+	return m.val, m.seq, true
 }
 
 // NextRecvAt returns the cycle at which a RECV on core `to` polling sender
 // `from` would first succeed, given no further network activity: the arrival
 // time of the oldest matching message, or NoWake when none is queued. Recv
 // always pops the oldest (lowest-seq) matching message and succeeds only
-// once THAT message has arrived, so the probe reports its readyAt rather
-// than the minimum over all matches.
+// once THAT message has arrived, so the probe reports the pair FIFO head's
+// readyAt rather than the minimum over all matches.
 func (q *QueueNet) NextRecvAt(to, from int) int64 {
-	qq := q.queues[to]
-	best := -1
-	for i, m := range qq {
-		if m.spawn || m.from != from {
-			continue
-		}
-		if best < 0 || m.seq < qq[best].seq {
-			best = i
-		}
-	}
-	if best < 0 {
+	f := &q.pairs[from*q.T.Cores()+to]
+	if f.empty() {
 		return NoWake
 	}
-	return qq[best].readyAt
+	return f.peek().readyAt
 }
 
 // RecvSpawn pops the oldest spawn message for an idle core. On success the
-// popped message's sequence number identifies the matching SendSpawn.
-func (q *QueueNet) RecvSpawn(to int, cycle int64) (addr uint64, seq int64, ok bool) {
-	qq := q.queues[to]
-	best := -1
-	for i, m := range qq {
-		if !m.spawn {
-			continue
-		}
-		if best < 0 || m.seq < qq[best].seq {
-			best = i
-		}
+// popped message's sequence number identifies the matching SendSpawn, and
+// `from` is the spawning core (the event scheduler uses it to release a
+// sender blocked on that pair's back-pressure).
+func (q *QueueNet) RecvSpawn(to int, cycle int64) (addr uint64, from int, seq int64, ok bool) {
+	f := &q.spawns[to]
+	if f.empty() || f.peek().readyAt > cycle {
+		return 0, 0, 0, false
 	}
-	if best < 0 || qq[best].readyAt > cycle {
-		return 0, 0, false
-	}
-	addr, seq = qq[best].val, qq[best].seq
-	q.counts[qq[best].from*q.T.Cores()+to]--
-	q.queues[to] = append(qq[:best], qq[best+1:]...)
-	return addr, seq, true
+	m := f.pop()
+	q.counts[m.from*q.T.Cores()+to]--
+	q.pending--
+	return m.val, m.from, m.seq, true
 }
 
 // NextSpawnAt returns the cycle at which an idle core `to` would first see a
@@ -376,32 +427,27 @@ func (q *QueueNet) RecvSpawn(to int, cycle int64) (addr uint64, seq int64, ok bo
 // travel different distances, so a newer message can arrive earlier — but
 // RecvSpawn still waits for the oldest).
 func (q *QueueNet) NextSpawnAt(to int) int64 {
-	qq := q.queues[to]
-	best := -1
-	for i, m := range qq {
-		if !m.spawn {
-			continue
-		}
-		if best < 0 || m.seq < qq[best].seq {
-			best = i
-		}
-	}
-	if best < 0 {
+	f := &q.spawns[to]
+	if f.empty() {
 		return NoWake
 	}
-	return qq[best].readyAt
+	return f.peek().readyAt
 }
 
 // Pending reports whether any message (arrived or in flight) is queued for
 // core `to` — used to distinguish idle from deadlocked cores.
-func (q *QueueNet) Pending(to int) bool { return len(q.queues[to]) > 0 }
-
-// PendingAny reports whether any message exists anywhere in the network.
-func (q *QueueNet) PendingAny() bool {
-	for i := range q.queues {
-		if len(q.queues[i]) > 0 {
+func (q *QueueNet) Pending(to int) bool {
+	if !q.spawns[to].empty() {
+		return true
+	}
+	n := q.T.Cores()
+	for from := 0; from < n; from++ {
+		if !q.pairs[from*n+to].empty() {
 			return true
 		}
 	}
 	return false
 }
+
+// PendingAny reports whether any message exists anywhere in the network.
+func (q *QueueNet) PendingAny() bool { return q.pending > 0 }

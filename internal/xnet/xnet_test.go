@@ -24,6 +24,82 @@ func TestTopologyFor(t *testing.T) {
 	}
 }
 
+// TestTopologyNearSquare pins the many-core arrangements and their hop
+// distances: wide machines get near-square meshes, not 4-column strips
+// (a 4×16 strip would stretch 64-core corner-to-corner traffic to 18 hops).
+func TestTopologyNearSquare(t *testing.T) {
+	hopStats := func(top Topology, n int) (diam int, total int) {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				h := top.Hops(a, b)
+				total += h
+				if h > diam {
+					diam = h
+				}
+			}
+		}
+		return diam, total
+	}
+	cases := []struct {
+		n, cols, rows int
+		// corner-to-corner hops (core 0 to core n-1) and network diameter
+		// (max hops over populated pairs).
+		corner, diameter int
+	}{
+		{16, 4, 4, 6, 6},
+		{32, 6, 6, 6, 10},
+		{64, 8, 8, 14, 14},
+	}
+	for _, c := range cases {
+		top := TopologyFor(c.n)
+		if top.Cols != c.cols || top.Rows != c.rows || top.N != c.n {
+			t.Errorf("TopologyFor(%d) = %dx%d N=%d, want %dx%d N=%d",
+				c.n, top.Cols, top.Rows, top.N, c.cols, c.rows, c.n)
+			continue
+		}
+		if got := top.Hops(0, c.n-1); got != c.corner {
+			t.Errorf("TopologyFor(%d): Hops(0, %d) = %d, want %d", c.n, c.n-1, got, c.corner)
+		}
+		diam, total := hopStats(top, c.n)
+		if diam != c.diameter {
+			t.Errorf("TopologyFor(%d): diameter = %d, want %d", c.n, diam, c.diameter)
+		}
+		// Strip comparison: beyond 16 cores the near-square mesh must be
+		// strictly cheaper than the old 4-column strip on mean hop count
+		// and no worse on diameter.
+		if c.n > 16 {
+			stripDiam, stripTotal := hopStats(TopologyCols(c.n, 4), c.n)
+			if total >= stripTotal {
+				t.Errorf("TopologyFor(%d): total hops %d not better than 4-column strip's %d", c.n, total, stripTotal)
+			}
+			if diam > stripDiam {
+				t.Errorf("TopologyFor(%d): diameter %d worse than 4-column strip's %d", c.n, diam, stripDiam)
+			}
+		}
+	}
+}
+
+// TestTopologyGhostPositions checks that unpopulated mesh positions route
+// traffic but are never reported as neighbors.
+func TestTopologyGhostPositions(t *testing.T) {
+	top := TopologyFor(32) // 6×6, positions 32..35 are ghosts
+	if top.Cores() != 36 {
+		t.Fatalf("Cores() = %d, want 36 mesh positions", top.Cores())
+	}
+	// Core 31 sits at (1,5); its east neighbor position 32 holds no core.
+	if got := top.Neighbor(31, isa.East); got != -1 {
+		t.Errorf("Neighbor(31, East) = %d, want -1 (ghost position)", got)
+	}
+	if got := top.Neighbor(31, isa.West); got != 30 {
+		t.Errorf("Neighbor(31, West) = %d, want 30", got)
+	}
+	// Routes between populated cores still walk real coordinates: core 5
+	// at (5,0) to core 30 at (0,5) crosses the whole populated mesh.
+	if got := top.Hops(5, 30); got != 10 {
+		t.Errorf("Hops(5, 30) = %d, want 10", got)
+	}
+}
+
 func TestNeighbor2x2(t *testing.T) {
 	top := TopologyFor(4)
 	// layout: 0 1 / 2 3
@@ -179,11 +255,11 @@ func TestSpawnSeparateFromData(t *testing.T) {
 	if _, _, ok := q.Recv(1, 0, 100); !ok {
 		t.Fatal("data recv failed")
 	}
-	addr, _, ok := q.RecvSpawn(1, 100)
-	if !ok || addr != 7 {
-		t.Errorf("spawn recv = %d, %v", addr, ok)
+	addr, from, _, ok := q.RecvSpawn(1, 100)
+	if !ok || addr != 7 || from != 0 {
+		t.Errorf("spawn recv = %d from %d, %v", addr, from, ok)
 	}
-	if _, _, ok := q.RecvSpawn(1, 100); ok {
+	if _, _, _, ok := q.RecvSpawn(1, 100); ok {
 		t.Error("spawn message delivered twice")
 	}
 }
