@@ -1,5 +1,6 @@
-// voltron-run compiles one benchmark and simulates it, printing the cycle
-// breakdown and speedup over the single-core baseline.
+// voltron-run compiles one benchmark or user source program and simulates
+// it, printing the cycle breakdown and speedup over the single-core
+// baseline.
 //
 // Usage:
 //
@@ -8,6 +9,8 @@
 //	voltron-run -bench rawcaudio -j 1        # sequential measured selection
 //	voltron-run -bench cjpeg -trace out.json # Chrome trace (open in Perfetto)
 //	voltron-run -bench cjpeg -stalls         # stall-attribution report
+//	voltron-run -src prog.vs                 # user program (see examples/lang)
+//	voltron-run -src prog.vs -inputs n=4096  # override declared params
 package main
 
 import (
@@ -16,9 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"voltron/internal/compiler"
 	"voltron/internal/core"
+	"voltron/internal/ir"
+	"voltron/internal/lang"
 	"voltron/internal/prof"
 	"voltron/internal/spec"
 	"voltron/internal/stats"
@@ -36,7 +44,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("voltron-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	bench := fs.String("bench", "gsmdecode", "benchmark name (use -list)")
+	bench := fs.String("bench", "", "benchmark name (use -list)")
+	srcPath := fs.String("src", "", "source program file (mutually exclusive with -bench)")
+	inputs := fs.String("inputs", "", "param overrides for -src as k=v[,k=v...]")
 	cores := spec.CoresFlag(fs)
 	strategy := spec.StrategyFlag(fs)
 	selectMode := spec.SelectFlag(fs)
@@ -68,9 +78,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown selection mode %q", *selectMode)
 	}
-	p, err := workload.Build(*bench)
-	if err != nil {
-		return err
+	if *bench != "" && *srcPath != "" {
+		return fmt.Errorf("-bench and -src are mutually exclusive")
+	}
+	name := *bench
+	var p *ir.Program
+	if *srcPath != "" {
+		b, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		ins, err := parseInputs(*inputs)
+		if err != nil {
+			return err
+		}
+		name = strings.TrimSuffix(filepath.Base(*srcPath), filepath.Ext(*srcPath))
+		if p, err = lang.Compile(string(b), name, ins); err != nil {
+			return err
+		}
+	} else {
+		if name == "" {
+			name = "gsmdecode"
+		}
+		var err error
+		if p, err = workload.Build(name); err != nil {
+			return err
+		}
 	}
 	pr, err := prof.Collect(p)
 	if err != nil {
@@ -114,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s on %d cores (%s): %d cycles, speedup %.2fx over 1-core (%d cycles)\n",
-		*bench, *cores, strat, res.TotalCycles,
+		name, *cores, strat, res.TotalCycles,
 		float64(base.TotalCycles)/float64(res.TotalCycles), base.TotalCycles)
 	fmt.Fprintf(stdout, "mode occupancy: %.0f%% coupled / %.0f%% decoupled; spawns=%d tm-conflicts=%d\n",
 		100*res.ModeFraction(stats.ModeCoupled), 100*res.ModeFraction(stats.ModeDecoupled),
@@ -154,6 +187,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseInputs parses the -inputs flag ("k=v,k=v") into param overrides.
+func parseInputs(s string) (map[string]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int64{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -inputs entry %q (want k=v)", kv)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -inputs value %q: %v", kv, err)
+		}
+		out[k] = n
+	}
+	return out, nil
 }
 
 // writeRendered renders one trace view into a freshly created file.

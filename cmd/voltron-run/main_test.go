@@ -127,6 +127,54 @@ func TestErrors(t *testing.T) {
 	if err := run([]string{"-bench", "nonesuch"}, &stdout, &stderr); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
+	if err := run([]string{"-bench", "rawcaudio", "-src", "x.vs"}, &stdout, &stderr); err == nil {
+		t.Error("-bench and -src accepted together")
+	}
+	if err := run([]string{"-src", "nonesuch.vs"}, &stdout, &stderr); err == nil {
+		t.Error("missing source file accepted")
+	}
+}
+
+// TestSourceFlag: -src compiles a language program through the same
+// pipeline; -inputs overrides declared params; frontend failures surface
+// positioned diagnostics.
+func TestSourceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sum.vs")
+	src := "param n = 64;\nvar acc int = 0;\narray out[n] int;\nfunc main() {\n\tfor i = 0; i < n; i = i + 1 {\n\t\tout[i] = i * 2;\n\t\tacc = acc + out[i];\n\t}\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-src", path, "-cores", "2", "-strategy", "serial", "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if out := stdout.String(); !strings.Contains(out, "sum on 2 cores") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+	// A larger n takes more cycles — the override reached the frontend.
+	base := stdout.String()
+	stdout.Reset()
+	if err := run([]string{"-src", path, "-inputs", "n=4096", "-cores", "2", "-strategy", "serial", "-j", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() == base {
+		t.Error("-inputs n=4096 did not change the run")
+	}
+	if err := run([]string{"-src", path, "-inputs", "n=oops"}, &stdout, &stderr); err == nil {
+		t.Error("bad -inputs value accepted")
+	}
+	bad := filepath.Join(dir, "bad.vs")
+	if err := os.WriteFile(bad, []byte("func main() {\n\tmissing = 1;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-src", bad}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("undeclared variable accepted")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("diagnostic lacks a position: %v", err)
+	}
 }
 
 // TestSelectFlag: the shared -select flag reaches the compiler (non-default

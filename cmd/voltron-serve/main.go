@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"voltron/internal/lang"
 	"voltron/internal/server"
 )
 
@@ -206,6 +207,24 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 	if err := get("/v1/figures/12"); err != nil {
 		return err
 	}
+	// Source-form jobs: a user program POSTed as language text runs through
+	// the same pipeline. Round two must hit the content cache; the validate
+	// endpoint checks the same body without simulating.
+	srcJob := `{"program": {"kind": "source", "name": "smokesrc", "source": ` + smokeSourceJSON + `}, "strategy": "hybrid", "cores": 4}`
+	for round := 0; round < 2; round++ {
+		if err := post(srcJob); err != nil {
+			return err
+		}
+	}
+	vresp, err := http.Post(base+"/v1/validate", "application/json", bytes.NewReader([]byte(srcJob)))
+	if err != nil {
+		return err
+	}
+	vb, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/validate: status %d: %s", vresp.StatusCode, vb)
+	}
 	// A traced job: the response must link a fetchable Chrome trace.
 	tr, err := http.Post(base+"/v1/jobs", "application/json",
 		bytes.NewReader([]byte(`{"bench": "rawcaudio", "strategy": "hybrid", "cores": 4, "trace": true}`)))
@@ -260,6 +279,16 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 			pooled.AllocsPerJob, fresh.AllocsPerJob)
 	}
 
+	// Frontend probe: parse + type-check + lower a user program, no
+	// simulation. This is the extra per-request cost a source job pays over
+	// an equivalent kernels job before the shared pipeline takes over.
+	frontend, err := probeFrontend(200)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "smoke: frontend parse+lower p50 %.0fus, p99 %.0fus\n",
+		frontend.P50Micros, frontend.P99Micros)
+
 	if metricsOut != "" {
 		f, err := os.Create(metricsOut)
 		if err != nil {
@@ -269,8 +298,9 @@ func runSmoke(srv *server.Server, metricsOut string, stdout io.Writer) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(benchReport{
-			Metrics: m,
-			PerJob:  map[string]perJobStats{"fresh": fresh, "pooled": pooled},
+			Metrics:  m,
+			PerJob:   map[string]perJobStats{"fresh": fresh, "pooled": pooled},
+			Frontend: frontend,
 		}); err != nil {
 			return err
 		}
@@ -286,6 +316,9 @@ type benchReport struct {
 	// builds a machine per job (the before-state), "pooled" reuses warm
 	// machines through the pool.
 	PerJob map[string]perJobStats `json:"per_job"`
+	// Frontend is the language-frontend probe: parse + type-check + lower
+	// of a representative user program, measured in isolation.
+	Frontend perJobStats `json:"frontend_parse_lower"`
 }
 
 // perJobStats is one serving mode's per-job cost in the smoke probe.
@@ -295,6 +328,64 @@ type perJobStats struct {
 	P99Micros    float64 `json:"p99_us"`
 	AllocsPerJob float64 `json:"allocs_per_job"`
 	BytesPerJob  float64 `json:"bytes_per_job"`
+}
+
+// smokeSource is the user program the smoke run POSTs as a source job and
+// measures in the frontend probe: a DOALL map, a reduction, and a serial
+// recurrence — enough shape diversity to exercise selection.
+const smokeSource = `param n = 512;
+array xs[n] int = {3, 1, 4, 1, 5, 9, 2, 6};
+array ys[n] int;
+var acc int = 0;
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		ys[i] = xs[i] * 3 + i;
+	}
+	for i = 0; i < n; i = i + 1 {
+		acc = acc + ys[i];
+	}
+	for i = 1; i < n; i = i + 1 {
+		ys[i] = ys[i-1] + ys[i];
+	}
+}
+`
+
+// smokeSourceJSON is smokeSource as a JSON string literal for request bodies.
+var smokeSourceJSON = func() string {
+	b, err := json.Marshal(smokeSource)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}()
+
+// probeFrontend runs the language frontend (parse, type-check, lower to IR)
+// n times over the smoke program and reports latency percentiles and
+// allocation rate — the source-job overhead measured without the simulator.
+func probeFrontend(n int) (perJobStats, error) {
+	if _, err := lang.Compile(smokeSource, "frontend-probe", nil); err != nil {
+		return perJobStats{}, fmt.Errorf("frontend probe: %w", err)
+	}
+	durs := make([]time.Duration, n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if _, err := lang.Compile(smokeSource, "frontend-probe", nil); err != nil {
+			return perJobStats{}, err
+		}
+		durs[i] = time.Since(t0)
+	}
+	runtime.ReadMemStats(&after)
+	slices.Sort(durs)
+	return perJobStats{
+		Jobs:         n,
+		P50Micros:    float64(durs[n/2].Microseconds()),
+		P99Micros:    float64(durs[min(n-1, n*99/100)].Microseconds()),
+		AllocsPerJob: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerJob:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
 }
 
 // probePerJob serves n alternating inline jobs straight through the handler

@@ -1,0 +1,24 @@
+// Branch-heavy classification plus a data-dependent (but bounded)
+// settling loop over cross-region scalars.
+param n = 512;
+
+array v[n] int = {4, -7, 0, 12, -3, 9, 0, -1};
+var pos int = 0;
+var neg int = 0;
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		if v[i] > 0 {
+			pos = pos + v[i];
+		} else if v[i] < 0 {
+			neg = neg - v[i];
+		} else {
+			v[i] = i;
+		}
+	}
+	var steps int = 0;
+	for pos > neg && steps < 4000 {
+		pos = pos - 3;
+		steps = steps + 1;
+	}
+}

@@ -1,0 +1,17 @@
+// A long serial dependence chain through scalars and a helper function:
+// plenty of instruction-level parallelism, no loop-level parallelism.
+param n = 512;
+
+array acc[n] int = {11, 23, 5, 17};
+var h int = 7;
+
+func step(v int, w int) int {
+	return (v * 31 + w) ^ (v >> 3);
+}
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		h = step(h, acc[i] + i);
+		acc[i] = h & 1023;
+	}
+}

@@ -1,0 +1,16 @@
+// Dot product with a scaling map: a DOALL float map feeding a float
+// reduction.
+param n = 1024;
+
+array xs[n] float = {1.5, 2.0, 0.25, 3.5, 0.75, 1.125};
+array ys[n] float;
+var dot float = 0.0;
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		ys[i] = xs[i] * 0.5 + float(i) * 0.125;
+	}
+	for i = 0; i < n; i = i + 1 {
+		dot = dot + xs[i] * ys[i];
+	}
+}

@@ -1,0 +1,15 @@
+// Histogram: a data-dependent scatter whose updates collide, so the loop
+// carries dependences through memory.
+param n = 1024;
+
+array keys[n] int = {9, 2, 11, 2, 7, 15, 4, 2};
+array hist[16] int;
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		keys[i] = (keys[i] + i * 5) & 15;
+	}
+	for i = 0; i < n; i = i + 1 {
+		hist[keys[i] & 15] = hist[keys[i] & 15] + 1;
+	}
+}

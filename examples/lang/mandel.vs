@@ -1,0 +1,20 @@
+// Escape-time iteration over an 8x8 grid: every outer iteration runs an
+// inner data-dependent while loop, so per-iteration work is irregular.
+array out[256] int;
+
+func main() {
+	for p = 0; p < 256; p = p + 1 {
+		var cr float = float(p % 16) * 0.1875 - 2.0;
+		var ci float = float(p / 16) * 0.125 - 1.0;
+		var zr float = 0.0;
+		var zi float = 0.0;
+		var iter int = 0;
+		for iter < 24 && zr * zr + zi * zi <= 4.0 {
+			var t float = zr * zr - zi * zi + cr;
+			zi = zr * zi * 2.0 + ci;
+			zr = t;
+			iter = iter + 1;
+		}
+		out[p] = iter;
+	}
+}

@@ -1,0 +1,20 @@
+// 8x8 integer matrix multiply: three nested affine loops with a scalar
+// accumulator in the innermost.
+array ma[64] int = {3, 1, 4, 1, 5, 9, 2, 6};
+array mb[64] int = {2, 7, 1, 8, 2, 8, 1, 8};
+array mc[64] int;
+
+func main() {
+	for i = 0; i < 8; i = i + 1 {
+		ma[i*8+i] = ma[i*8+i] + i + 1;
+	}
+	for i = 0; i < 8; i = i + 1 {
+		for j = 0; j < 8; j = j + 1 {
+			var t int = 0;
+			for k = 0; k < 8; k = k + 1 {
+				t = t + ma[i*8+k] * mb[k*8+j];
+			}
+			mc[i*8+j] = t;
+		}
+	}
+}

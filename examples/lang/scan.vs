@@ -1,0 +1,14 @@
+// Inclusive prefix sum: a loop-carried recurrence through memory that can
+// never be DOALL.
+param n = 512;
+
+array v[n] int = {5, -2, 9, 4, 1, 7, -3, 8};
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		v[i] = v[i & 7] + i;
+	}
+	for i = 1; i < n; i = i + 1 {
+		v[i] = v[i-1] + v[i];
+	}
+}

@@ -1,0 +1,15 @@
+// 3-point stencil: affine reads at i-1, i, i+1, all provably in bounds,
+// writing a disjoint array — the classic DOALL.
+param n = 1024;
+
+array src[n] int;
+array dst[n] int;
+
+func main() {
+	for i = 0; i < n; i = i + 1 {
+		src[i] = i * 3 + (i & 7);
+	}
+	for i = 1; i < n - 1; i = i + 1 {
+		dst[i] = (src[i-1] + src[i] * 2 + src[i+1]) / 4;
+	}
+}

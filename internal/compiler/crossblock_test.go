@@ -1,0 +1,122 @@
+package compiler
+
+import (
+	"testing"
+
+	"voltron/internal/core"
+	"voltron/internal/interp"
+	"voltron/internal/ir"
+	"voltron/internal/prof"
+)
+
+// TestCrossBlockLoadLatency pins the block-exit latency rule: a block whose
+// last useful instruction is a multi-cycle op (here a LOAD) must pad its
+// schedule so the result is ready when the successor block's first
+// instruction issues. Before the fix, the loop header's compare read the
+// loaded bound one cycle early and the machine rejected the schedule.
+func TestCrossBlockLoadLatency(t *testing.T) {
+	p := ir.NewProgram("crossblock")
+	v := p.Array("v", 8)
+	p.SetInit(v, 0, 5)
+	out := p.Array("out", 1)
+	r := p.Region("r0")
+	pre := r.NewBlock()
+	base := pre.AddrOf(v)
+	ob := pre.AddrOf(out)
+	// The loop bound arrives from memory at the very end of the entry
+	// block; the header compare is its first consumer.
+	bound := pre.Load(v, base, 0)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 0, LimitVal: bound, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		b.Store(out, ob, 0, i)
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+
+	golden, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := prof.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{1, 4} {
+		cp, err := Compile(p, Options{Cores: cores, Strategy: Serial, Profile: pr, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			t.Fatalf("serial/%d: %v", cores, err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			addr, a, b, _ := golden.Mem.FirstDiff(res.Mem)
+			t.Errorf("serial/%d diverges at %#x: interp=%d machine=%d", cores, addr, a, b)
+		}
+	}
+}
+
+// Prefix-sum recurrence: v[i] = v[i-1] + v[i] — load of the running sum,
+// load of the current element (same address as the store), store back.
+func TestScanRecurrenceFTLP(t *testing.T) {
+	p := ir.NewProgram("scanrepro")
+	v := p.Array("v", 64)
+	for i, w := range []int64{5, -2, 9, 4, 1, 7, -3, 8} {
+		p.SetInit(v, int64(i), w)
+	}
+	r0 := p.Region("fill")
+	pre0 := r0.NewBlock()
+	base0 := pre0.AddrOf(v)
+	after0 := ir.BuildCountedLoop(pre0, ir.LoopSpec{Start: 0, Limit: 64, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		st := b.Add(base0, b.ShlI(i, 3))
+		g := b.AndI(i, 7)
+		addr := b.Add(base0, b.ShlI(g, 3))
+		x := b.Load(v, addr, 0)
+		sum := b.Add(x, i)
+		b.Store(v, st, 0, sum)
+		return b
+	})
+	after0.ExitRegion()
+	r0.Seal()
+
+	r := p.Region("scan")
+	pre := r.NewBlock()
+	base := pre.AddrOf(v)
+	after := ir.BuildCountedLoop(pre, ir.LoopSpec{Start: 1, Limit: 64, Step: 1}, func(b *ir.Block, i ir.Value) *ir.Block {
+		st := b.Add(base, b.ShlI(i, 3))
+		im1 := b.SubI(i, 1)
+		addr1 := b.Add(base, b.ShlI(im1, 3))
+		prev := b.Load(v, addr1, 0)
+		addr2 := b.Add(base, b.ShlI(i, 3))
+		cur := b.Load(v, addr2, 0)
+		sum := b.Add(prev, cur)
+		b.Store(v, st, 0, sum)
+		return b
+	})
+	after.ExitRegion()
+	r.Seal()
+
+	golden, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := prof.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{4, 16} {
+		cp, err := Compile(p, Options{Cores: cores, Strategy: ForceFTLP, Profile: pr, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mem.Equal(golden.Mem) {
+			addr, a, b, _ := golden.Mem.FirstDiff(res.Mem)
+			t.Errorf("ftlp/%d diverges at %#x: interp=%d machine=%d", cores, addr, a, b)
+		}
+	}
+}

@@ -79,6 +79,10 @@ func (d *dag) computeHeights() {
 // schedule performs list scheduling onto a single-issue core and returns
 // the instruction sequence with NOP fill; slot k issues k cycles after
 // block entry. The result always contains at least the scheduled nodes.
+//
+// The tail is padded so every multi-cycle result is ready by the time the
+// sequence ends: successor blocks assume their live-in registers are usable
+// at entry, so a block must not expose an in-flight value at its exit.
 func (d *dag) schedule() []isa.Inst {
 	if len(d.nodes) == 0 {
 		return nil
@@ -117,6 +121,13 @@ func (d *dag) schedule() []isa.Inst {
 		d.nodes[best].cycle = cycle
 		out = append(out, d.nodes[best].inst)
 		remaining--
+	}
+	for _, n := range d.nodes {
+		if n.inst.Dst.Valid() {
+			for len(out) < n.cycle+n.inst.Op.Latency() {
+				out = append(out, isa.Nop())
+			}
+		}
 	}
 	return out
 }

@@ -38,6 +38,17 @@ func (b *Block) binopImm(code isa.Opcode, class isa.RegClass, x Value, imm int64
 	return o.Dst
 }
 
+// BinOp emits dst = code(x, y) into a fresh value of the given class; the
+// generic form for frontends that pick opcodes from a table.
+func (b *Block) BinOp(code isa.Opcode, class isa.RegClass, x, y Value) Value {
+	return b.binop(code, class, x, y)
+}
+
+// BinOpImm emits dst = code(x, #imm) into a fresh value of the given class.
+func (b *Block) BinOpImm(code isa.Opcode, class isa.RegClass, x Value, imm int64) Value {
+	return b.binopImm(code, class, x, imm)
+}
+
 // MovI materializes an integer constant.
 func (b *Block) MovI(c int64) Value {
 	o := b.Region.NewOp(isa.MOVI)
@@ -120,6 +131,16 @@ func (b *Block) FCmpLT(x, y Value) Value { return b.binop(isa.FCMPLT, isa.RegPR,
 // CmpLTI compares against an integer constant.
 func (b *Block) CmpLTI(x Value, c int64) Value { return b.binopImm(isa.CMPLT, isa.RegPR, x, c) }
 
+// CmpI compares against an integer constant with any compare opcode.
+func (b *Block) CmpI(code isa.Opcode, x Value, c int64) Value {
+	return b.binopImm(code, isa.RegPR, x, c)
+}
+
+// DivI and RemI divide by an integer constant (the machine's division by
+// zero yields zero, so a zero constant is legal).
+func (b *Block) DivI(x Value, c int64) Value { return b.binopImm(isa.DIV, isa.RegGPR, x, c) }
+func (b *Block) RemI(x Value, c int64) Value { return b.binopImm(isa.REM, isa.RegGPR, x, c) }
+
 // Predicate logic.
 func (b *Block) PAnd(x, y Value) Value { return b.binop(isa.PAND, isa.RegPR, x, y) }
 func (b *Block) POr(x, y Value) Value  { return b.binop(isa.POR, isa.RegPR, x, y) }
@@ -200,4 +221,57 @@ func (b *Block) BranchIf(cond Value, taken, fall *Block) {
 func (b *Block) ExitRegion() {
 	b.Kind = Exit
 	b.Succ[0], b.Succ[1] = nil, nil
+}
+
+// Non-SSA reassignment forms. Frontends model mutable variables as one
+// value per variable and re-target it on every assignment (the same shape
+// AddTo and Accum emit for counters and accumulators); these helpers are
+// the general version for dst = code(x, y).
+
+// Reassign emits dst = code(x, y) into an existing destination value.
+func (b *Block) Reassign(code isa.Opcode, dst, x, y Value) *Op {
+	o := b.Region.NewOp(code)
+	o.Args[0], o.Args[1] = x, y
+	o.Dst = dst
+	b.emit(o)
+	return o
+}
+
+// ReassignImm emits dst = code(x, #imm) into an existing destination.
+func (b *Block) ReassignImm(code isa.Opcode, dst, x Value, imm int64) *Op {
+	o := b.Region.NewOp(code)
+	o.Args[0] = x
+	o.Imm = imm
+	o.Dst = dst
+	b.emit(o)
+	return o
+}
+
+// SetI emits dst = c (a MOVI re-targeting an existing value).
+func (b *Block) SetI(dst Value, c int64) {
+	o := b.Region.NewOp(isa.MOVI)
+	o.Imm = c
+	o.Dst = dst
+	b.emit(o)
+}
+
+// SetF emits dst = c (an FMOVI re-targeting an existing value).
+func (b *Block) SetF(dst Value, c float64) {
+	o := b.Region.NewOp(isa.FMOVI)
+	o.F = c
+	o.Dst = dst
+	b.emit(o)
+}
+
+// LoadInto re-targets a load at [base+off] to an existing destination.
+func (b *Block) LoadInto(code isa.Opcode, dst Value, arr *Array, base Value, off int64) *Op {
+	o := b.Region.NewOp(code)
+	o.Args[0] = base
+	o.Imm = off
+	o.Dst = dst
+	if arr != nil {
+		o.Obj = arr.ID
+	}
+	b.emit(o)
+	return o
 }

@@ -1,0 +1,193 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// Diagnostic goldens: every diagnostic must carry the right code AND the
+// right position — these are API surface (the validate endpoint returns
+// them verbatim), so they are pinned exactly.
+func TestDiagnosticGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		code string
+		line int
+		col  int
+		msg  string // substring
+	}{
+		{
+			name: "syntax-missing-literal",
+			src:  "param n = ;\n",
+			code: CodeSyntax, line: 1, col: 11,
+			msg: "expected integer literal",
+		},
+		{
+			name: "syntax-bad-statement",
+			src:  "func main() {\n\t1 = 2;\n}\n",
+			code: CodeSyntax, line: 2, col: 2,
+			msg: "expected a statement",
+		},
+		{
+			name: "redeclared-param",
+			src:  "param n = 4;\nparam n = 5;\nfunc main() {\n\tvar x int = n;\n}\n",
+			code: CodeRedeclared, line: 2, col: 1,
+			msg: "redeclares",
+		},
+		{
+			name: "undefined-in-expr",
+			src:  "func main() {\n\tvar x int = y + 1;\n}\n",
+			code: CodeUndefined, line: 2, col: 14,
+			msg: `"y" is not declared`,
+		},
+		{
+			name: "undefined-assign",
+			src:  "func main() {\n\tq = 1;\n}\n",
+			code: CodeUndefined, line: 2, col: 2,
+			msg: `"q" is not declared`,
+		},
+		{
+			name: "type-assign-float-to-int",
+			src:  "var g int = 0;\nfunc main() {\n\tg = 1.5;\n}\n",
+			code: CodeType, line: 3, col: 6,
+			msg: "cannot assign float to int",
+		},
+		{
+			name: "type-condition-not-bool",
+			src:  "func main() {\n\tvar x int = 0;\n\tif x + 1 {\n\t\tx = 2;\n\t}\n}\n",
+			code: CodeType, line: 3, col: 7,
+			msg: "condition must be a comparison",
+		},
+		{
+			name: "float-equality",
+			src:  "func main() {\n\tvar a float = 1.0;\n\tif a == 2.0 {\n\t\ta = 0.0;\n\t}\n}\n",
+			code: CodeFloatEq, line: 3, col: 7,
+			msg: "no float equality",
+		},
+		{
+			name: "bounds-constant-index",
+			src:  "array a[8] int;\nfunc main() {\n\ta[9] = 1;\n}\n",
+			code: CodeBounds, line: 3, col: 4,
+			msg: "out of range",
+		},
+		{
+			name: "assign-to-param",
+			src:  "param n = 4;\nfunc main() {\n\tn = 5;\n}\n",
+			code: CodeAssign, line: 3, col: 2,
+			msg: "params are immutable",
+		},
+		{
+			name: "call-arity",
+			src:  "func f(v int) int {\n\treturn v;\n}\nfunc main() {\n\tvar x int = f(1, 2);\n}\n",
+			code: CodeCall, line: 5, col: 14,
+			msg: "takes 1 arguments, got 2",
+		},
+		{
+			name: "recursion",
+			src: "func f(v int) int {\n\treturn g(v);\n}\nfunc g(v int) int {\n\treturn f(v);\n}\n" +
+				"func main() {\n\tvar x int = f(1);\n}\n",
+			code: CodeRecursion, line: 1, col: 1,
+			msg: "recursive",
+		},
+		{
+			name: "return-not-final",
+			src:  "func f(v int) int {\n\treturn v;\n\treturn v;\n}\nfunc main() {\n\tvar x int = f(1);\n}\n",
+			code: CodeReturn, line: 2, col: 2,
+			msg: "final statement",
+		},
+		{
+			name: "missing-main",
+			src:  "param n = 4;\n",
+			code: CodeMain, line: 1, col: 1,
+			msg: "func main()",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Frontend(tc.src, nil)
+			if err == nil {
+				t.Fatalf("expected a %s diagnostic, got none", tc.code)
+			}
+			le, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("expected *lang.Error, got %T: %v", err, err)
+			}
+			d := le.Diags[0]
+			if d.Code != tc.code {
+				t.Errorf("code = %q, want %q (message %q)", d.Code, tc.code, d.Message)
+			}
+			if d.Line != tc.line || d.Col != tc.col {
+				t.Errorf("position = %d:%d, want %d:%d (message %q)", d.Line, d.Col, tc.line, tc.col, d.Message)
+			}
+			if !strings.Contains(d.Message, tc.msg) {
+				t.Errorf("message %q does not contain %q", d.Message, tc.msg)
+			}
+		})
+	}
+}
+
+// TestUnknownInput: an input that names no param is a structured error.
+func TestUnknownInput(t *testing.T) {
+	src := "param n = 4;\nfunc main() {\n\tvar x int = n;\n}\n"
+	_, err := Frontend(src, map[string]int64{"zzz": 1})
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("expected *lang.Error, got %T: %v", err, err)
+	}
+	if le.Diags[0].Code != CodeInput {
+		t.Fatalf("code = %q, want %q", le.Diags[0].Code, CodeInput)
+	}
+}
+
+// TestInputOverride: inputs replace param defaults and flow into array
+// sizing and constant folding.
+func TestInputOverride(t *testing.T) {
+	src := "param n = 4;\narray a[n] int;\nfunc main() {\n\tfor i = 0; i < n; i = i + 1 {\n\t\ta[i] = i;\n\t}\n}\n"
+	p, err := Frontend(src, map[string]int64{"n": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Params()["n"]; got != 9 {
+		t.Fatalf("effective n = %d, want 9", got)
+	}
+	if got := p.Defaults()["n"]; got != 4 {
+		t.Fatalf("default n = %d, want 4", got)
+	}
+	res, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Arrays["a"]
+	if len(a) != 9 {
+		t.Fatalf("array a sized %d, want 9", len(a))
+	}
+	for i, w := range a {
+		if w != uint64(i) {
+			t.Fatalf("a[%d] = %d, want %d", i, w, i)
+		}
+	}
+}
+
+// TestMultipleDiagnostics: the checker reports every independent error,
+// not just the first.
+func TestMultipleDiagnostics(t *testing.T) {
+	src := "func main() {\n\tq = 1;\n\tw = 2;\n}\n"
+	_, err := Frontend(src, nil)
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("expected *lang.Error, got %T", err)
+	}
+	if len(le.Diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(le.Diags), le.Diags)
+	}
+}
+
+// TestSourceSizeLimit: oversized sources are rejected up front.
+func TestSourceSizeLimit(t *testing.T) {
+	_, err := Parse(strings.Repeat("/", maxSourceBytes+1))
+	le, ok := err.(*Error)
+	if !ok || le.Diags[0].Code != CodeLimit {
+		t.Fatalf("expected %s, got %v", CodeLimit, err)
+	}
+}

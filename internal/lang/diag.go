@@ -1,0 +1,91 @@
+package lang
+
+import "fmt"
+
+// Diagnostic codes. Every frontend failure carries exactly one of these;
+// they are part of the API surface (clients and the diagnostic golden tests
+// match on them), so existing codes never change meaning.
+const (
+	// CodeSyntax is any lexical or grammatical error.
+	CodeSyntax = "syntax"
+	// CodeRedeclared is a name declared twice in one scope.
+	CodeRedeclared = "redeclared"
+	// CodeUndefined is a reference to a name never declared.
+	CodeUndefined = "undefined"
+	// CodeType is an operand or assignment type mismatch.
+	CodeType = "type"
+	// CodeFloatEq is == or != on floats, which the target ISA cannot
+	// express (it has no float equality compare) and the language
+	// therefore rejects rather than approximates.
+	CodeFloatEq = "float-eq"
+	// CodeConst is a non-constant expression where a compile-time
+	// constant is required (array sizes, initializers).
+	CodeConst = "const"
+	// CodeBounds is a provably out-of-range constant array index or an
+	// array size outside the supported range.
+	CodeBounds = "bounds"
+	// CodeAssign is an assignment to something that is not a variable
+	// (parameters are immutable, functions and arrays are not scalars).
+	CodeAssign = "assign"
+	// CodeCall is a call mismatch: unknown function, wrong arity or
+	// argument types, or a value context for a void function.
+	CodeCall = "call"
+	// CodeRecursion is a cycle in the call graph; functions are inlined,
+	// so recursion (direct or mutual) cannot be compiled.
+	CodeRecursion = "recursion"
+	// CodeReturn is a misplaced or missing return statement.
+	CodeReturn = "return"
+	// CodeMain is a missing or malformed main function.
+	CodeMain = "main"
+	// CodeInput is an invalid parameter override: an input naming no
+	// declared param.
+	CodeInput = "input"
+	// CodeLimit is a program exceeding a size cap (source bytes,
+	// declarations, lowered operations, or the evaluation budget).
+	CodeLimit = "limit"
+)
+
+// Diagnostic is one frontend error with a stable machine-readable code and
+// a 1-based source position. It is the wire shape /v1/validate and the job
+// path return for source-program failures.
+type Diagnostic struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+}
+
+func (d Diagnostic) String() string {
+	if d.Line == 0 {
+		return fmt.Sprintf("%s: %s", d.Code, d.Message)
+	}
+	return fmt.Sprintf("%d:%d: %s: %s", d.Line, d.Col, d.Code, d.Message)
+}
+
+// Error is the failure type of every frontend entry point: one or more
+// diagnostics in source order. Callers that care about structure use
+// errors.As; everyone else gets a readable message.
+type Error struct {
+	Diags []Diagnostic
+}
+
+func (e *Error) Error() string {
+	switch len(e.Diags) {
+	case 0:
+		return "invalid program"
+	case 1:
+		return e.Diags[0].String()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", e.Diags[0], len(e.Diags)-1)
+	}
+}
+
+// errf builds a single-diagnostic Error.
+func errf(code string, pos Pos, format string, args ...any) *Error {
+	return &Error{Diags: []Diagnostic{{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Line:    pos.Line,
+		Col:     pos.Col,
+	}}}
+}

@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"fmt"
+	"testing"
+
+	"voltron/internal/compiler"
+	"voltron/internal/core"
+	"voltron/internal/interp"
+	"voltron/internal/ir"
+	"voltron/internal/mem"
+	"voltron/internal/prof"
+)
+
+// Differential oracle: for any accepted program, three independent
+// executions must agree bit-for-bit on the final memory image —
+//
+//	reference evaluator (eval.go, straight off the AST)
+//	IR interpreter      (interp, over the lowered program)
+//	simulated machine   (every strategy, at 4 and 16 cores)
+//
+// The evaluator never saw the IR and the interpreter never saw the AST,
+// so agreement pins the whole frontend: parser, checker, constant folder,
+// wrap elision, inlining and lowering.
+
+var diffStrategies = []compiler.Strategy{
+	compiler.Serial, compiler.ForceILP, compiler.ForceFTLP, compiler.ForceLLP, compiler.Hybrid,
+}
+
+var diffCores = []int{4, 16}
+
+// matchEval compares the reference evaluator's per-array words against a
+// flat memory image at the lowered program's layout.
+func matchEval(t *testing.T, prog *ir.Program, er *EvalResult, m *mem.Flat, label string) {
+	t.Helper()
+	if len(er.Arrays) != len(prog.Arrays) {
+		t.Fatalf("%s: evaluator has %d arrays, program %d", label, len(er.Arrays), len(prog.Arrays))
+	}
+	for _, arr := range prog.Arrays {
+		words, ok := er.Arrays[arr.Name]
+		if !ok || int64(len(words)) != arr.Words {
+			t.Fatalf("%s: array %q: evaluator image missing or mis-sized (%d vs %d words)",
+				label, arr.Name, len(words), arr.Words)
+		}
+		for i := int64(0); i < arr.Words; i++ {
+			if got := m.LoadW(arr.Base + i*8); got != words[i] {
+				t.Fatalf("%s: array %q word %d: eval=%#x machine=%#x",
+					label, arr.Name, i, words[i], got)
+			}
+		}
+	}
+}
+
+// runDifferential drives one source program through the full oracle.
+func runDifferential(t *testing.T, src, name string) {
+	t.Helper()
+	p, err := Frontend(src, nil)
+	if err != nil {
+		t.Fatalf("frontend: %v\n%s", err, src)
+	}
+	golden, err := p.Eval()
+	if err != nil {
+		t.Fatalf("eval: %v\n%s", err, src)
+	}
+	prog, err := p.Lower(name)
+	if err != nil {
+		t.Fatalf("lower: %v\n%s", err, src)
+	}
+	ref, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, src)
+	}
+	matchEval(t, prog, golden, ref.Mem, "interp")
+	pr, err := prof.Collect(prog)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	for _, s := range diffStrategies {
+		for _, cores := range diffCores {
+			cp, err := compiler.Compile(prog, compiler.Options{
+				Cores: cores, Strategy: s, Profile: pr, Workers: 1,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d: compile: %v\n%s", s, cores, err, src)
+			}
+			res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+			if err != nil {
+				t.Fatalf("%v/%d: run: %v\n%s", s, cores, err, src)
+			}
+			if !res.Mem.Equal(ref.Mem) {
+				addr, a, b, _ := ref.Mem.FirstDiff(res.Mem)
+				t.Fatalf("%v/%d: memory diverges at %#x: interp=%d machine=%d\n%s",
+					s, cores, addr, int64(a), int64(b), src)
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomSources runs the oracle over generated programs.
+func TestDifferentialRandomSources(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, RandomSource(int64(seed)), fmt.Sprintf("lang-seed%d", seed))
+		})
+	}
+}
+
+// TestRandomSourceDeterministic: the same seed must name the same program
+// forever (fuzz corpus entries and CI reproducers depend on it).
+func TestRandomSourceDeterministic(t *testing.T) {
+	if RandomSource(7) != RandomSource(7) {
+		t.Fatal("same seed produced different source")
+	}
+	if RandomSource(7) == RandomSource(8) {
+		t.Fatal("different seeds produced identical source")
+	}
+}
+
+// FuzzLangMatchesInterpreter is the native fuzz entry point (run in CI as
+// `go test -fuzz=FuzzLang -fuzztime=30s`): each (seed, strategy, cores)
+// tuple deterministically names a generated source program, which must
+// produce identical memory under the reference evaluator, the IR
+// interpreter, and one compiled strategy.
+func FuzzLangMatchesInterpreter(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed%5), uint8(seed%2))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, stratSel, coreSel uint8) {
+		src := RandomSource(seed)
+		p, err := Frontend(src, nil)
+		if err != nil {
+			t.Fatalf("generated source invalid: %v\n%s", err, src)
+		}
+		golden, err := p.Eval()
+		if err != nil {
+			t.Fatalf("eval: %v\n%s", err, src)
+		}
+		prog, err := p.Lower("fuzz")
+		if err != nil {
+			t.Fatalf("lower: %v\n%s", err, src)
+		}
+		ref, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("interp: %v\n%s", err, src)
+		}
+		matchEval(t, prog, golden, ref.Mem, "interp")
+		s := diffStrategies[int(stratSel)%len(diffStrategies)]
+		cores := diffCores[int(coreSel)%len(diffCores)]
+		pr, err := prof.Collect(prog)
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		cp, err := compiler.Compile(prog, compiler.Options{Cores: cores, Strategy: s, Profile: pr, Workers: 1})
+		if err != nil {
+			t.Fatalf("%v/%d: compile: %v\n%s", s, cores, err, src)
+		}
+		res, err := core.New(core.DefaultConfig(cores)).Run(cp)
+		if err != nil {
+			t.Fatalf("%v/%d: run: %v\n%s", s, cores, err, src)
+		}
+		if !res.Mem.Equal(ref.Mem) {
+			addr, a, b, _ := ref.Mem.FirstDiff(res.Mem)
+			t.Fatalf("seed %d %v/%d: memory diverges at %#x: interp=%d machine=%d\n%s",
+				seed, s, cores, addr, int64(a), int64(b), src)
+		}
+	})
+}

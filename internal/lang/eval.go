@@ -1,0 +1,331 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+)
+
+// Direct AST evaluation: the reference semantics the lowered IR is tested
+// against. Eval mirrors the machine, not Go, wherever the two differ:
+//
+//   - Integer ops wrap, division by zero yields zero, shifts mask to six
+//     bits (evalIntOp in sem.go, shared with the constant folder).
+//   - Unchecked array indices wrap modulo the array length (wrapIndex).
+//   - Float negation is 0.0 - x (the lowered form), which maps -(+0.0) to
+//     +0.0 where Go's negation would give -0.0.
+//   - Float <= and >= build from < exactly as the lowerer does
+//     (x <= y  ⇔  !(y < x)), which differs from Go when NaN is involved —
+//     and NaN is reachable (inf - inf).
+//   - && and || evaluate both operands (no short-circuit).
+//
+// Arrays are kept as raw memory words so the result compares bit-for-bit
+// against the interpreter's memory image.
+
+// maxEvalSteps bounds evaluation work; a while loop that fails to
+// terminate surfaces as a CodeLimit error rather than a hang.
+const maxEvalSteps = 1 << 22
+
+// EvalResult is the final memory image of a program: one word slice per
+// array, keyed by array name, plus ".globals" when the program has
+// top-level vars (mirroring the hidden array the lowerer emits).
+type EvalResult struct {
+	Arrays map[string][]uint64
+}
+
+// Eval runs a checked program to completion under the reference
+// semantics.
+func Eval(f *File) (res *EvalResult, err error) {
+	ev := &evaluator{
+		f:      f,
+		ints:   make(map[*Symbol]int64),
+		floats: make(map[*Symbol]float64),
+		arrays: make(map[*Symbol][]uint64),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bailout); ok {
+				res, err = nil, b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	for _, d := range f.Arrays {
+		w := make([]uint64, d.Sym.Words)
+		for i, e := range d.Init {
+			if d.Elem == TFloat {
+				w[i] = math.Float64bits(constFloatOf(e))
+			} else {
+				w[i] = uint64(e.base().ConstVal)
+			}
+		}
+		ev.arrays[d.Sym] = w
+	}
+	for _, d := range f.Globals {
+		if d.T == TFloat {
+			ev.floats[d.Sym] = d.Sym.FVal
+		} else {
+			ev.ints[d.Sym] = d.Sym.Val
+		}
+	}
+
+	ev.body(f.Main.Body)
+
+	out := &EvalResult{Arrays: make(map[string][]uint64)}
+	for _, d := range f.Arrays {
+		out.Arrays[d.Name] = ev.arrays[d.Sym]
+	}
+	if n := f.memWords(); n > 0 {
+		g := make([]uint64, n)
+		for _, d := range f.Globals {
+			if d.T == TFloat {
+				g[d.Sym.GlobalIdx] = math.Float64bits(ev.floats[d.Sym])
+			} else {
+				g[d.Sym.GlobalIdx] = uint64(ev.ints[d.Sym])
+			}
+		}
+		// Main's top-level locals are memory-backed (they cross region
+		// boundaries in the lowered form) and land after the globals.
+		for _, v := range f.MainLocals {
+			sym := v.Name.Sym
+			if v.T == TFloat {
+				g[sym.GlobalIdx] = math.Float64bits(ev.floats[sym])
+			} else {
+				g[sym.GlobalIdx] = uint64(ev.ints[sym])
+			}
+		}
+		out.Arrays[".globals"] = g
+	}
+	return out, nil
+}
+
+type evaluator struct {
+	f      *File
+	ints   map[*Symbol]int64
+	floats map[*Symbol]float64
+	arrays map[*Symbol][]uint64
+	steps  int
+}
+
+// tick charges one unit of work.
+func (ev *evaluator) tick(p Pos) {
+	ev.steps++
+	if ev.steps > maxEvalSteps {
+		panic(bailout{errf(CodeLimit, p, "evaluation exceeded %d steps (non-terminating loop?)", maxEvalSteps)})
+	}
+}
+
+// val is one scalar: exactly one of the fields is meaningful, per the
+// expression's static type.
+type val struct {
+	i int64
+	f float64
+}
+
+func (ev *evaluator) body(stmts []Stmt) {
+	for _, s := range stmts {
+		ev.stmt(s)
+	}
+}
+
+func (ev *evaluator) stmt(s Stmt) {
+	ev.tick(s.Pos())
+	switch s := s.(type) {
+	case *VarStmt:
+		var v val
+		if s.Init != nil {
+			v = ev.expr(s.Init)
+		}
+		ev.set(s.Name.Sym, v)
+	case *AssignStmt:
+		ev.set(s.LHS.Sym, ev.expr(s.Value))
+	case *StoreStmt:
+		// Address before value, matching the lowerer.
+		sym := s.Target.Name.Sym
+		idx := ev.index(s.Target)
+		v := ev.expr(s.Value)
+		if sym.Type == TFloat {
+			ev.arrays[sym][idx] = math.Float64bits(v.f)
+		} else {
+			ev.arrays[sym][idx] = uint64(v.i)
+		}
+	case *IfStmt:
+		if ev.pred(s.Cond) {
+			ev.body(s.Then)
+		} else {
+			ev.body(s.Else)
+		}
+	case *ForStmt:
+		if s.Init != nil {
+			ev.set(s.Init.LHS.Sym, ev.expr(s.Init.Value))
+		}
+		for {
+			ev.tick(s.Pos())
+			if !ev.pred(s.Cond) {
+				break
+			}
+			ev.body(s.Body)
+			if s.Post != nil {
+				ev.set(s.Post.LHS.Sym, ev.expr(s.Post.Value))
+			}
+		}
+	case *ExprStmt:
+		ev.call(s.Call)
+	case *ReturnStmt:
+		// Only reachable as main's final statement (bare return).
+	default:
+		panic(fmt.Sprintf("lang: unhandled statement %T", s))
+	}
+}
+
+func (ev *evaluator) set(sym *Symbol, v val) {
+	if sym.Type == TFloat {
+		ev.floats[sym] = v.f
+	} else {
+		ev.ints[sym] = v.i
+	}
+}
+
+// index evaluates an array subscript to a word offset, wrapping unchecked
+// indices modulo the length.
+func (ev *evaluator) index(e *IndexExpr) int64 {
+	if b := e.Index.base(); b.Const {
+		return b.ConstVal // checker proved constant indices in bounds
+	}
+	return wrapIndex(ev.expr(e.Index).i, e.Name.Sym.Words)
+}
+
+// call evaluates every argument, then binds parameters and runs the body.
+// Binding after full argument evaluation matches the lowerer's temporary
+// staging (a nested call to the same function must not clobber arguments
+// bound so far).
+func (ev *evaluator) call(e *CallExpr) val {
+	fn := e.Fn.Sym.Fn
+	args := make([]val, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = ev.expr(a)
+	}
+	for i, p := range fn.Params {
+		ev.set(p.Sym, args[i])
+	}
+	for _, s := range fn.Body {
+		if r, ok := s.(*ReturnStmt); ok {
+			if r.Value == nil {
+				return val{}
+			}
+			return ev.expr(r.Value)
+		}
+		ev.stmt(s)
+	}
+	return val{}
+}
+
+func (ev *evaluator) expr(e Expr) val {
+	ev.tick(e.Pos())
+	if b := e.base(); b.T == TInt && b.Const {
+		return val{i: b.ConstVal}
+	}
+	switch e := e.(type) {
+	case *FloatLit:
+		return val{f: e.V}
+	case *Ident:
+		if e.Sym.Type == TFloat {
+			return val{f: ev.floats[e.Sym]}
+		}
+		return val{i: ev.ints[e.Sym]}
+	case *IndexExpr:
+		w := ev.arrays[e.Name.Sym][ev.index(e)]
+		if e.Name.Sym.Type == TFloat {
+			return val{f: math.Float64frombits(w)}
+		}
+		return val{i: int64(w)}
+	case *CallExpr:
+		return ev.call(e)
+	case *UnaryExpr:
+		x := ev.expr(e.X)
+		if e.T == TFloat {
+			return val{f: 0.0 - x.f} // the lowered form; not Go negation
+		}
+		return val{i: 0 - x.i}
+	case *ConvExpr:
+		x := ev.expr(e.X)
+		if e.To == e.X.base().T {
+			return x
+		}
+		if e.To == TFloat {
+			return val{f: float64(x.i)}
+		}
+		return val{i: int64(x.f)}
+	case *BinaryExpr:
+		x := ev.expr(e.X)
+		y := ev.expr(e.Y)
+		if e.T == TFloat {
+			switch e.Op {
+			case "+":
+				return val{f: x.f + y.f}
+			case "-":
+				return val{f: x.f - y.f}
+			case "*":
+				return val{f: x.f * y.f}
+			case "/":
+				return val{f: x.f / y.f}
+			}
+			panic("lang: unhandled float operator " + e.Op)
+		}
+		return val{i: evalIntOp(e.Op, x.i, y.i)}
+	}
+	panic(fmt.Sprintf("lang: unhandled expression %T", e))
+}
+
+// pred evaluates a condition. Both operands of && and || always evaluate;
+// float orderings build from < exactly as the lowered FCMPLT/PNOT
+// sequences do.
+func (ev *evaluator) pred(e Expr) bool {
+	ev.tick(e.Pos())
+	switch e := e.(type) {
+	case *UnaryExpr: // !
+		return !ev.pred(e.X)
+	case *BinaryExpr:
+		switch e.Op {
+		case "&&":
+			x := ev.pred(e.X)
+			y := ev.pred(e.Y)
+			return x && y
+		case "||":
+			x := ev.pred(e.X)
+			y := ev.pred(e.Y)
+			return x || y
+		}
+		x := ev.expr(e.X)
+		y := ev.expr(e.Y)
+		if e.X.base().T == TFloat {
+			switch e.Op {
+			case "<":
+				return x.f < y.f
+			case ">":
+				return y.f < x.f
+			case "<=":
+				return !(y.f < x.f)
+			case ">=":
+				return !(x.f < y.f)
+			}
+			panic("lang: unhandled float comparison " + e.Op)
+		}
+		switch e.Op {
+		case "==":
+			return x.i == y.i
+		case "!=":
+			return x.i != y.i
+		case "<":
+			return x.i < y.i
+		case "<=":
+			return x.i <= y.i
+		case ">":
+			return x.i > y.i
+		case ">=":
+			return x.i >= y.i
+		}
+		panic("lang: unhandled comparison " + e.Op)
+	}
+	panic(fmt.Sprintf("lang: unhandled condition %T", e))
+}

@@ -1,0 +1,77 @@
+package lang
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"voltron/internal/compiler"
+)
+
+func readExamples(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "lang", "*.vs"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(src)
+	}
+	return out
+}
+
+// TestExamplesDifferential runs every shipped example through the full
+// oracle: evaluator vs interpreter vs every strategy at 4 and 16 cores.
+func TestExamplesDifferential(t *testing.T) {
+	for name, src := range readExamples(t) {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, src, name)
+		})
+	}
+}
+
+// TestExamplesStrategyDiversity is the corpus-coverage gate: the shipped
+// examples must continue to exercise at least three distinct selected
+// strategies, or the corpus has stopped earning its keep as a selection
+// test bed. Run in CI via the ordinary test suite.
+func TestExamplesStrategyDiversity(t *testing.T) {
+	distinct := map[compiler.Choice][]string{}
+	for name, src := range readExamples(t) {
+		p, err := Frontend(src, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog, err := p.Lower(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cls, err := compiler.ClassifyProgram(prog, compiler.Options{Cores: 4, Strategy: compiler.Hybrid})
+		if err != nil {
+			t.Fatalf("%s: classify: %v", name, err)
+		}
+		for _, c := range cls {
+			distinct[c.Choice] = append(distinct[c.Choice], name)
+		}
+	}
+	var lines []string
+	for ch, names := range distinct {
+		sort.Strings(names)
+		lines = append(lines, fmt.Sprintf("  %-14s %v", ch, names))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		t.Log(l)
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("examples/lang covers only %d distinct selected strategies, need >= 3", len(distinct))
+	}
+}

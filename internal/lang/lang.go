@@ -1,0 +1,72 @@
+// Package lang is the source-language frontend: a small structured
+// language (typed int/float scalars and arrays, functions, counted and
+// data-dependent loops, branches, reductions) that compiles to the
+// simulator's region IR, so arbitrary user programs flow through the same
+// dependence analysis, tier classification and strategy selection as the
+// built-in benchmarks.
+//
+// The pipeline is Parse -> Check -> Lower. Parse builds a positioned AST
+// and fails fast on the first syntax error; Check resolves names, types
+// every expression, folds integer constants, proves index ranges, and
+// accumulates structured diagnostics; Lower emits IR whose loops keep the
+// canonical induction/reduction shapes the optimizer recognizes. Program
+// semantics are defined by the machine (see sem.go and eval.go), and the
+// lowered IR is differentially tested against the reference evaluator.
+package lang
+
+import "voltron/internal/ir"
+
+// Program is a parsed, checked source program, ready to lower or
+// interrogate (for validation endpoints).
+type Program struct {
+	File *File
+}
+
+// Frontend parses and checks src, applying inputs as param overrides.
+// The returned error, when non-nil, is a *lang.Error carrying structured
+// diagnostics with positions.
+func Frontend(src string, inputs map[string]int64) (*Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(f, inputs); err != nil {
+		return nil, err
+	}
+	return &Program{File: f}, nil
+}
+
+// Lower compiles the checked program to IR under the given name.
+func (p *Program) Lower(name string) (*ir.Program, error) {
+	return Lower(p.File, name)
+}
+
+// Eval runs the checked program under the reference semantics.
+func (p *Program) Eval() (*EvalResult, error) {
+	return Eval(p.File)
+}
+
+// Params returns the program's effective parameter values (defaults with
+// inputs applied).
+func (p *Program) Params() map[string]int64 {
+	out := make(map[string]int64, len(p.File.Params))
+	for _, d := range p.File.Params {
+		out[d.Name] = d.Sym.Val
+	}
+	return out
+}
+
+// Defaults returns the declared parameter defaults, before overrides.
+func (p *Program) Defaults() map[string]int64 {
+	return p.File.ParamDefaults()
+}
+
+// Compile is the one-call form: parse, check and lower src as an IR
+// program named name.
+func Compile(src, name string, inputs map[string]int64) (*ir.Program, error) {
+	p, err := Frontend(src, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Lower(name)
+}

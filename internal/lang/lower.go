@@ -1,0 +1,693 @@
+package lang
+
+import (
+	"fmt"
+
+	"voltron/internal/ir"
+	"voltron/internal/isa"
+)
+
+// Lowering: checked AST -> ir.Program, preserving loop and region
+// structure so the existing dependence analysis, tier classifier and
+// strategy selection see the same shapes the built-in benchmarks emit.
+//
+// The mapping:
+//
+//   - Every top-level `for` in main becomes its own region; runs of other
+//     statements between loops coalesce into straight-line regions. This is
+//     the schedulable-unit granularity the compiler expects.
+//   - Scalar variables are one IR value per symbol, re-targeted on every
+//     assignment (non-SSA, matching the machine's register semantics).
+//     `i = i + 1` therefore lowers to the exact `ADD v, v, #imm` shape
+//     induction detection requires, and `s = s + x` to the Accum shape
+//     reduction detection requires.
+//   - Globals live in a hidden ".globals" array: each region loads the
+//     globals it references at entry and stores the ones it writes at exit
+//     (cross-region scalars must travel through memory).
+//   - Function calls are inlined (the checker rejects recursion and
+//     confines `return` to the final statement, so inlining is argument
+//     binding plus a body splice).
+//   - Array indices not proven in bounds wrap modulo the array length
+//     (AND-mask when the length is a power of two); proven-in-bounds
+//     indices lower raw, keeping the address affine for DOALL detection.
+//
+// Expression evaluation order is part of the language semantics and must
+// match eval.go exactly: binary operands left then right, call arguments
+// left to right, store address before stored value.
+
+// Lowering caps. Inlining duplicates callee bodies, so a small source file
+// can expand combinatorially; both counters trip CodeLimit long before the
+// simulator would struggle.
+const (
+	maxInlineExpansions = 256
+	maxLoweredStmts     = 1 << 16
+)
+
+// Lower compiles a parsed and checked file into an IR program.
+func Lower(f *File, name string) (prog *ir.Program, err error) {
+	lw := &lowerer{
+		f:        f,
+		prog:     ir.NewProgram(name),
+		arrays:   make(map[*Symbol]*ir.Array),
+		memSlots: make(map[*Symbol]memSlot),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bailout); ok {
+				prog, err = nil, b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	lw.declare()
+	lw.lowerMain()
+	if verr := lw.prog.Verify(); verr != nil {
+		return nil, fmt.Errorf("lang: internal error: lowered IR fails verification: %w", verr)
+	}
+	return lw.prog, nil
+}
+
+// bailout unwinds lowering on a resource-limit diagnostic.
+type bailout struct{ err *Error }
+
+type lowerer struct {
+	f    *File
+	prog *ir.Program
+
+	arrays  map[*Symbol]*ir.Array
+	globals *ir.Array // hidden ".globals" array; nil when the file has none
+	// memSlots maps every memory-backed scalar (file globals and main's
+	// top-level locals) to its slot in the hidden array.
+	memSlots map[*Symbol]memSlot
+
+	// Per-region state.
+	region *ir.Region
+	cur    *ir.Block
+	regs   map[*Symbol]ir.Value
+	bases  map[*Symbol]ir.Value
+	gbase  ir.Value
+
+	inlines int
+	stmts   int
+}
+
+// declare creates the program's arrays (user arrays plus the hidden
+// globals array) and their initial images.
+func (lw *lowerer) declare() {
+	for _, d := range lw.f.Arrays {
+		var a *ir.Array
+		if d.Elem == TFloat {
+			a = lw.prog.FloatArray(d.Name, d.Sym.Words)
+		} else {
+			a = lw.prog.Array(d.Name, d.Sym.Words)
+		}
+		lw.arrays[d.Sym] = a
+		for i, e := range d.Init {
+			if d.Elem == TFloat {
+				lw.prog.SetInitF(a, int64(i), constFloatOf(e))
+			} else {
+				lw.prog.SetInit(a, int64(i), e.base().ConstVal)
+			}
+		}
+	}
+	if n := lw.f.memWords(); n > 0 {
+		lw.globals = lw.prog.Array(".globals", int64(n))
+		for _, d := range lw.f.Globals {
+			if d.T == TFloat {
+				lw.prog.SetInitF(lw.globals, d.Sym.GlobalIdx, d.Sym.FVal)
+			} else {
+				lw.prog.SetInit(lw.globals, d.Sym.GlobalIdx, d.Sym.Val)
+			}
+			lw.memSlots[d.Sym] = memSlot{idx: d.Sym.GlobalIdx, t: d.T}
+		}
+		// Main's top-level locals occupy the remaining slots,
+		// zero-initialized; their var statements assign in-region.
+		for _, v := range lw.f.MainLocals {
+			lw.memSlots[v.Name.Sym] = memSlot{idx: v.Name.Sym.GlobalIdx, t: v.T}
+		}
+	}
+}
+
+// memSlot is one memory-backed scalar's home in the hidden globals array.
+type memSlot struct {
+	idx int64
+	t   Type
+}
+
+// constFloatOf reads a checker-validated constant float initializer.
+func constFloatOf(e Expr) float64 {
+	switch e := e.(type) {
+	case *FloatLit:
+		return e.V
+	case *UnaryExpr:
+		return -e.X.(*FloatLit).V
+	}
+	panic("lang: not a constant float initializer")
+}
+
+// lowerMain splits main's body into regions: each top-level for loop
+// stands alone; consecutive non-loop statements share one region.
+func (lw *lowerer) lowerMain() {
+	var run []Stmt
+	idx := 0
+	flush := func() {
+		if len(run) > 0 {
+			lw.lowerRegion(fmt.Sprintf("main.%d", idx), run)
+			idx++
+			run = nil
+		}
+	}
+	for _, s := range lw.f.Main.Body {
+		if fs, ok := s.(*ForStmt); ok {
+			flush()
+			lw.lowerRegion(fmt.Sprintf("main.%d", idx), []Stmt{fs})
+			idx++
+			continue
+		}
+		run = append(run, s)
+	}
+	flush()
+}
+
+func (lw *lowerer) lowerRegion(name string, stmts []Stmt) {
+	lw.region = lw.prog.Region(name)
+	lw.cur = lw.region.NewBlock()
+	lw.regs = make(map[*Symbol]ir.Value)
+	lw.bases = make(map[*Symbol]ir.Value)
+	lw.gbase = ir.NoValue
+
+	// Materialize every referenced array base and load every referenced
+	// memory-backed scalar in the entry block, where they dominate all
+	// uses. Written scalars load too: a conditional write still stores
+	// the register at exit, which must then hold the original value on
+	// the untaken path.
+	arrs, mems := lw.collectRefs(stmts)
+	for _, d := range lw.f.Arrays {
+		if arrs[d.Sym] {
+			lw.bases[d.Sym] = lw.cur.AddrOf(lw.arrays[d.Sym])
+		}
+	}
+	live := lw.liveScalars(mems)
+	if len(live) > 0 {
+		lw.gbase = lw.cur.AddrOf(lw.globals)
+		for _, sym := range live {
+			slot := lw.memSlots[sym]
+			if slot.t == TFloat {
+				lw.regs[sym] = lw.cur.FLoad(lw.globals, lw.gbase, slot.idx*8)
+			} else {
+				lw.regs[sym] = lw.cur.Load(lw.globals, lw.gbase, slot.idx*8)
+			}
+		}
+	}
+
+	for _, s := range stmts {
+		lw.stmt(s)
+	}
+
+	for _, sym := range live {
+		slot := lw.memSlots[sym]
+		if slot.t == TFloat {
+			lw.cur.FStore(lw.globals, lw.gbase, slot.idx*8, lw.regs[sym])
+		} else {
+			lw.cur.Store(lw.globals, lw.gbase, slot.idx*8, lw.regs[sym])
+		}
+	}
+	lw.cur.ExitRegion()
+	lw.region.Seal()
+}
+
+// liveScalars orders the referenced memory-backed scalars by slot, for
+// deterministic entry/exit sequences.
+func (lw *lowerer) liveScalars(mems map[*Symbol]bool) []*Symbol {
+	var out []*Symbol
+	for _, d := range lw.f.Globals {
+		if mems[d.Sym] {
+			out = append(out, d.Sym)
+		}
+	}
+	for _, v := range lw.f.MainLocals {
+		if mems[v.Name.Sym] {
+			out = append(out, v.Name.Sym)
+		}
+	}
+	return out
+}
+
+// collectRefs finds the arrays and memory-backed scalars a statement list
+// touches, following calls transitively.
+func (lw *lowerer) collectRefs(stmts []Stmt) (arrs, mems map[*Symbol]bool) {
+	arrs = make(map[*Symbol]bool)
+	mems = make(map[*Symbol]bool)
+	seen := make(map[*FuncDecl]bool)
+	var scan func(body []Stmt)
+	scan = func(body []Stmt) {
+		walkExprs(body, func(e Expr) {
+			switch e := e.(type) {
+			case *Ident:
+				if _, ok := lw.memSlots[e.Sym]; ok {
+					mems[e.Sym] = true
+				}
+			case *IndexExpr:
+				arrs[e.Name.Sym] = true
+			case *CallExpr:
+				fn := e.Fn.Sym.Fn
+				if !seen[fn] {
+					seen[fn] = true
+					scan(fn.Body)
+				}
+			}
+		})
+	}
+	scan(stmts)
+	return arrs, mems
+}
+
+// reg returns the IR value backing a scalar symbol, allocating on first
+// touch. Memory-backed scalars must have been preloaded by lowerRegion.
+func (lw *lowerer) reg(sym *Symbol) ir.Value {
+	if v, ok := lw.regs[sym]; ok {
+		return v
+	}
+	if _, mem := lw.memSlots[sym]; mem {
+		panic("lang: internal error: scalar " + sym.Name + " not preloaded")
+	}
+	v := lw.region.NewValue(classOf(sym.Type))
+	lw.regs[sym] = v
+	return v
+}
+
+func classOf(t Type) isa.RegClass {
+	if t == TFloat {
+		return isa.RegFPR
+	}
+	return isa.RegGPR
+}
+
+// ---- statements ----
+
+func (lw *lowerer) stmt(s Stmt) {
+	lw.stmts++
+	if lw.stmts > maxLoweredStmts {
+		panic(bailout{errf(CodeLimit, s.Pos(), "program too large to lower (over %d statements after inlining)", maxLoweredStmts)})
+	}
+	switch s := s.(type) {
+	case *VarStmt:
+		v := lw.reg(s.Name.Sym)
+		if s.Init != nil {
+			lw.exprInto(v, s.Init)
+		} else if s.T == TFloat {
+			lw.cur.SetF(v, 0)
+		} else {
+			lw.cur.SetI(v, 0)
+		}
+	case *AssignStmt:
+		lw.assign(s)
+	case *StoreStmt:
+		arr := lw.arrays[s.Target.Name.Sym]
+		addr, off := lw.address(s.Target)
+		val := lw.expr(s.Value)
+		if s.Target.Name.Sym.Type == TFloat {
+			lw.cur.FStore(arr, addr, off, val)
+		} else {
+			lw.cur.Store(arr, addr, off, val)
+		}
+	case *IfStmt:
+		lw.lowerIf(s)
+	case *ForStmt:
+		lw.lowerFor(s)
+	case *ExprStmt:
+		lw.inlineCall(s.Call, ir.NoValue)
+	case *ReturnStmt:
+		// A bare return as main's final statement; nothing to emit.
+		// (Returns inside functions are consumed by inlineCall.)
+	default:
+		panic(fmt.Sprintf("lang: unhandled statement %T", s))
+	}
+}
+
+func (lw *lowerer) body(stmts []Stmt) {
+	for _, s := range stmts {
+		lw.stmt(s)
+	}
+}
+
+func (lw *lowerer) assign(s *AssignStmt) {
+	lw.exprInto(lw.reg(s.LHS.Sym), s.Value)
+}
+
+func (lw *lowerer) lowerIf(s *IfStmt) {
+	p := lw.pred(s.Cond)
+	branch := lw.cur
+	thenB := lw.region.NewBlock()
+	lw.cur = thenB
+	lw.body(s.Then)
+	thenEnd := lw.cur
+	if len(s.Else) > 0 {
+		elseB := lw.region.NewBlock()
+		lw.cur = elseB
+		lw.body(s.Else)
+		elseEnd := lw.cur
+		join := lw.region.NewBlock()
+		branch.BranchIf(p, thenB, elseB)
+		thenEnd.JumpTo(join)
+		elseEnd.JumpTo(join)
+		lw.cur = join
+	} else {
+		join := lw.region.NewBlock()
+		branch.BranchIf(p, thenB, join)
+		thenEnd.JumpTo(join)
+		lw.cur = join
+	}
+}
+
+// lowerFor emits the canonical counted-loop shape (init in the
+// pre-header, compare in the header, back edge from the body end) that
+// ir.DetectLoops' induction analysis recognizes. The while form shares
+// the skeleton: the condition simply re-evaluates in the header.
+func (lw *lowerer) lowerFor(s *ForStmt) {
+	if s.Init != nil {
+		lw.assign(s.Init)
+	}
+	header := lw.region.NewBlock()
+	lw.cur.JumpTo(header)
+	lw.cur = header
+	p := lw.pred(s.Cond)
+	// Condition lowering may open further blocks (a call in the
+	// condition); the branch lives wherever the predicate ended up.
+	condEnd := lw.cur
+	body := lw.region.NewBlock()
+	lw.cur = body
+	lw.body(s.Body)
+	if s.Post != nil {
+		lw.assign(s.Post)
+	}
+	lw.cur.JumpTo(header)
+	after := lw.region.NewBlock()
+	condEnd.BranchIf(p, body, after)
+	lw.cur = after
+}
+
+// inlineCall splices a callee body at the call site. dst receives the
+// return value (NoValue for statement calls and void callees).
+//
+// Arguments that themselves contain calls are staged through fresh
+// temporaries: a nested call to the same callee would otherwise clobber
+// the parameter registers bound so far (the checker rejects recursion, so
+// once the body starts no further inline of this callee can occur).
+func (lw *lowerer) inlineCall(e *CallExpr, dst ir.Value) {
+	lw.inlines++
+	if lw.inlines > maxInlineExpansions {
+		panic(bailout{errf(CodeLimit, e.P, "program too large to lower (over %d inlined calls)", maxInlineExpansions)})
+	}
+	fn := e.Fn.Sym.Fn
+	staged := false
+	for _, a := range e.Args {
+		if hasCall(a) {
+			staged = true
+			break
+		}
+	}
+	if staged {
+		tmps := make([]ir.Value, len(e.Args))
+		for i, a := range e.Args {
+			tmps[i] = lw.region.NewValue(classOf(a.base().T))
+			lw.exprInto(tmps[i], a)
+		}
+		for i := range e.Args {
+			pv := lw.reg(fn.Params[i].Sym)
+			lw.copyInto(pv, tmps[i], fn.Params[i].T)
+		}
+	} else {
+		for i, a := range e.Args {
+			lw.exprInto(lw.reg(fn.Params[i].Sym), a)
+		}
+	}
+	for _, s := range fn.Body {
+		if r, ok := s.(*ReturnStmt); ok {
+			// Checker-enforced: only the final statement.
+			if r.Value == nil {
+				return
+			}
+			if dst == ir.NoValue {
+				// Value discarded, but the expression may still have
+				// side effects through nested calls.
+				lw.expr(r.Value)
+				return
+			}
+			lw.exprInto(dst, r.Value)
+			return
+		}
+		lw.stmt(s)
+	}
+}
+
+// copyInto emits dst = src as a register move.
+func (lw *lowerer) copyInto(dst, src ir.Value, t Type) {
+	if t == TFloat {
+		lw.cur.Reassign(isa.FMOV, dst, src, ir.NoValue)
+	} else {
+		lw.cur.Reassign(isa.MOV, dst, src, ir.NoValue)
+	}
+}
+
+// ---- expressions ----
+
+// intOpcode maps arithmetic source operators to integer opcodes.
+var intOpcode = map[string]isa.Opcode{
+	"+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV, "%": isa.REM,
+	"&": isa.AND, "|": isa.OR, "^": isa.XOR, "<<": isa.SHL, ">>": isa.SHR,
+}
+
+// floatOpcode maps arithmetic source operators to float opcodes.
+var floatOpcode = map[string]isa.Opcode{
+	"+": isa.FADD, "-": isa.FSUB, "*": isa.FMUL, "/": isa.FDIV,
+}
+
+// cmpOpcode maps comparison operators to integer compare opcodes.
+var cmpOpcode = map[string]isa.Opcode{
+	"==": isa.CMPEQ, "!=": isa.CMPNE,
+	"<": isa.CMPLT, "<=": isa.CMPLE, ">": isa.CMPGT, ">=": isa.CMPGE,
+}
+
+func commutative(op string) bool {
+	switch op {
+	case "+", "*", "&", "|", "^":
+		return true
+	}
+	return false
+}
+
+// isRegOf reports whether e is an identifier currently backed by v.
+func (lw *lowerer) isRegOf(e Expr, v ir.Value) bool {
+	id, ok := e.(*Ident)
+	return ok && lw.regs[id.Sym] == v
+}
+
+// operand lowers the left operand of a binary operation whose right
+// operand is rhs. If rhs contains a call and the left operand reads a
+// global register, the call could rewrite that register before the
+// operation executes; the evaluator captures operand values left to
+// right, so snapshot the register into a fresh value first.
+func (lw *lowerer) operand(x, rhs Expr) ir.Value {
+	v := lw.expr(x)
+	if id, ok := x.(*Ident); ok && id.Sym.Kind == symGlobal && hasCall(rhs) {
+		if id.Sym.Type == TFloat {
+			return lw.cur.BinOpImm(isa.FMOV, isa.RegFPR, v, 0)
+		}
+		return lw.cur.BinOpImm(isa.MOV, isa.RegGPR, v, 0)
+	}
+	return v
+}
+
+// exprInto lowers e into the existing destination value dst. This is the
+// assignment path: re-targeting the variable's register preserves the
+// canonical induction (ADD v, v, #imm) and reduction (OP v, v, x) shapes.
+func (lw *lowerer) exprInto(dst ir.Value, e Expr) {
+	if b := e.base(); b.T == TInt && b.Const {
+		lw.cur.SetI(dst, b.ConstVal)
+		return
+	}
+	switch e := e.(type) {
+	case *FloatLit:
+		lw.cur.SetF(dst, e.V)
+	case *Ident:
+		lw.copyInto(dst, lw.reg(e.Sym), e.Sym.Type)
+	case *IndexExpr:
+		addr, off := lw.address(e)
+		code := isa.LOAD
+		if e.Name.Sym.Type == TFloat {
+			code = isa.FLOAD
+		}
+		lw.cur.LoadInto(code, dst, lw.arrays[e.Name.Sym], addr, off)
+	case *UnaryExpr:
+		// Only numeric negation reaches here (! is bool-typed).
+		x := lw.expr(e.X)
+		if e.T == TFloat {
+			lw.cur.Reassign(isa.FSUB, dst, lw.cur.MovF(0), x)
+		} else {
+			lw.cur.Reassign(isa.SUB, dst, lw.cur.MovI(0), x)
+		}
+	case *ConvExpr:
+		if e.To == e.X.base().T {
+			lw.exprInto(dst, e.X)
+		} else if e.To == TFloat {
+			lw.cur.ReassignImm(isa.ITOF, dst, lw.expr(e.X), 0)
+		} else {
+			lw.cur.ReassignImm(isa.FTOI, dst, lw.expr(e.X), 0)
+		}
+	case *CallExpr:
+		lw.inlineCall(e, dst)
+	case *BinaryExpr:
+		lw.binaryInto(dst, e)
+	default:
+		panic(fmt.Sprintf("lang: unhandled expression %T", e))
+	}
+}
+
+// binaryInto lowers dst = x OP y. When the destination variable is an
+// operand, the op re-targets its own register (the Accum shape); a
+// commutative op with the variable on the right is swapped onto the left
+// so reductions like s = a[i] + s still canonicalize.
+func (lw *lowerer) binaryInto(dst ir.Value, e *BinaryExpr) {
+	x, y := e.X, e.Y
+	if commutative(e.Op) && !lw.isRegOf(x, dst) && lw.isRegOf(y, dst) {
+		// Swapping is safe: operand registers are read when the op
+		// executes, after both sides' code has run, and the snapshot in
+		// operand() already covers the one order-sensitive case.
+		x, y = y, x
+	}
+	if e.T == TFloat {
+		xv := lw.operand(x, y)
+		lw.cur.Reassign(floatOpcode[e.Op], dst, xv, lw.expr(y))
+		return
+	}
+	xv := lw.operand(x, y)
+	if yb := y.base(); yb.Const {
+		imm := yb.ConstVal
+		code := intOpcode[e.Op]
+		if e.Op == "-" {
+			// i = i - c lowers as ADD #-c so decrementing counters keep
+			// the canonical induction shape (identical mod 2^64).
+			code, imm = isa.ADD, -imm
+		}
+		lw.cur.ReassignImm(code, dst, xv, imm)
+		return
+	}
+	lw.cur.Reassign(intOpcode[e.Op], dst, xv, lw.expr(y))
+}
+
+// expr lowers e to a value (fresh unless e is a plain identifier, whose
+// live register is returned directly).
+func (lw *lowerer) expr(e Expr) ir.Value {
+	if b := e.base(); b.T == TInt && b.Const {
+		return lw.cur.MovI(b.ConstVal)
+	}
+	switch e := e.(type) {
+	case *FloatLit:
+		return lw.cur.MovF(e.V)
+	case *Ident:
+		return lw.reg(e.Sym)
+	case *IndexExpr:
+		addr, off := lw.address(e)
+		if e.Name.Sym.Type == TFloat {
+			return lw.cur.FLoad(lw.arrays[e.Name.Sym], addr, off)
+		}
+		return lw.cur.Load(lw.arrays[e.Name.Sym], addr, off)
+	case *UnaryExpr:
+		x := lw.expr(e.X)
+		if e.T == TFloat {
+			return lw.cur.FSub(lw.cur.MovF(0), x)
+		}
+		return lw.cur.Sub(lw.cur.MovI(0), x)
+	case *ConvExpr:
+		if e.To == e.X.base().T {
+			return lw.expr(e.X)
+		}
+		if e.To == TFloat {
+			return lw.cur.IToF(lw.expr(e.X))
+		}
+		return lw.cur.FToI(lw.expr(e.X))
+	case *CallExpr:
+		v := lw.region.NewValue(classOf(e.T))
+		lw.inlineCall(e, v)
+		return v
+	case *BinaryExpr:
+		if e.T == TFloat {
+			xv := lw.operand(e.X, e.Y)
+			return lw.cur.BinOp(floatOpcode[e.Op], isa.RegFPR, xv, lw.expr(e.Y))
+		}
+		xv := lw.operand(e.X, e.Y)
+		if yb := e.Y.base(); yb.Const {
+			return lw.cur.BinOpImm(intOpcode[e.Op], isa.RegGPR, xv, yb.ConstVal)
+		}
+		return lw.cur.BinOp(intOpcode[e.Op], isa.RegGPR, xv, lw.expr(e.Y))
+	}
+	panic(fmt.Sprintf("lang: unhandled expression %T", e))
+}
+
+// pred lowers a boolean condition to a predicate value. && and || are
+// non-short-circuit (both operands always evaluate), matching eval.go;
+// this is safe because no expression traps.
+func (lw *lowerer) pred(e Expr) ir.Value {
+	switch e := e.(type) {
+	case *UnaryExpr: // !
+		return lw.cur.PNot(lw.pred(e.X))
+	case *BinaryExpr:
+		switch e.Op {
+		case "&&":
+			x := lw.pred(e.X)
+			return lw.cur.PAnd(x, lw.pred(e.Y))
+		case "||":
+			x := lw.pred(e.X)
+			return lw.cur.POr(x, lw.pred(e.Y))
+		}
+		if e.X.base().T == TFloat {
+			// No float equality (checker-rejected); the four orderings
+			// build from FCMPLT. Operands still evaluate left to right.
+			x := lw.operand(e.X, e.Y)
+			y := lw.expr(e.Y)
+			switch e.Op {
+			case "<":
+				return lw.cur.FCmpLT(x, y)
+			case ">":
+				return lw.cur.FCmpLT(y, x)
+			case "<=":
+				return lw.cur.PNot(lw.cur.FCmpLT(y, x))
+			case ">=":
+				return lw.cur.PNot(lw.cur.FCmpLT(x, y))
+			}
+			panic("lang: unhandled float comparison " + e.Op)
+		}
+		x := lw.operand(e.X, e.Y)
+		if yb := e.Y.base(); yb.Const {
+			return lw.cur.CmpI(cmpOpcode[e.Op], x, yb.ConstVal)
+		}
+		return lw.cur.BinOp(cmpOpcode[e.Op], isa.RegPR, x, lw.expr(e.Y))
+	}
+	panic(fmt.Sprintf("lang: unhandled condition %T", e))
+}
+
+// address lowers an array access to (address value, immediate offset).
+// Constant indices fold entirely into the offset (the checker proved them
+// in bounds). Non-constant indices proven in bounds stay raw — affine in
+// the loop counter — while unproven ones wrap modulo the length, exactly
+// as eval.go's wrapIndex does.
+func (lw *lowerer) address(e *IndexExpr) (ir.Value, int64) {
+	sym := e.Name.Sym
+	base := lw.bases[sym]
+	if b := e.Index.base(); b.Const {
+		return base, b.ConstVal * 8
+	}
+	idx := lw.expr(e.Index)
+	if !e.InBounds {
+		words := sym.Words
+		if words&(words-1) == 0 {
+			idx = lw.cur.AndI(idx, words-1)
+		} else {
+			m := lw.cur.RemI(idx, words)
+			idx = lw.cur.RemI(lw.cur.AddI(m, words), words)
+		}
+	}
+	return lw.cur.Add(base, lw.cur.ShlI(idx, 3)), 0
+}

@@ -1,0 +1,396 @@
+package lang
+
+// Recursive-descent parser. Syntax errors fail fast (one diagnostic): the
+// checker does the multi-error reporting, where recovery is cheap; after a
+// grammatical error there is rarely a trustworthy resynchronization point
+// in a language this small.
+
+// maxSourceBytes caps accepted source size; the service compiles
+// arbitrary user programs, so every stage is bounded.
+const maxSourceBytes = 64 << 10
+
+// Parse parses one source program. The returned *File is resolved and
+// type-checked by Check before it can be lowered or evaluated.
+func Parse(src string) (*File, error) {
+	if len(src) > maxSourceBytes {
+		return nil, errf(CodeLimit, Pos{1, 1}, "source is %d bytes (max %d)", len(src), maxSourceBytes)
+	}
+	p := &parser{lx: newLexer(src)}
+	p.tok = p.scan()
+	p.ahead = p.scan()
+	f := &File{}
+	for p.tok.kind != tEOF {
+		switch p.tok.kind {
+		case tKwParam:
+			f.Params = append(f.Params, p.paramDecl())
+		case tKwArray:
+			f.Arrays = append(f.Arrays, p.arrayDecl())
+		case tKwVar:
+			f.Globals = append(f.Globals, p.varDecl())
+		case tKwFunc:
+			f.Funcs = append(f.Funcs, p.funcDecl())
+		default:
+			p.fail(p.tok.pos, "expected a declaration (param, array, var, or func), got %s", tokName[p.tok.kind])
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return f, nil
+}
+
+type parser struct {
+	lx    *lexer
+	tok   token // current
+	ahead token // one-token lookahead
+	err   *Error
+}
+
+// scan pulls the next raw token, surfacing lexer errors.
+func (p *parser) scan() token {
+	t := p.lx.next()
+	if p.lx.err != nil && p.err == nil {
+		p.err = p.lx.err
+	}
+	return t
+}
+
+func (p *parser) next() {
+	if p.err != nil {
+		p.tok = token{kind: tEOF, pos: p.tok.pos}
+		return
+	}
+	p.tok = p.ahead
+	p.ahead = p.scan()
+}
+
+func (p *parser) fail(pos Pos, format string, args ...any) {
+	if p.err == nil {
+		p.err = errf(CodeSyntax, pos, format, args...)
+	}
+	p.tok = token{kind: tEOF, pos: pos}
+}
+
+// expect consumes a token of kind k or fails.
+func (p *parser) expect(k tokKind) token {
+	t := p.tok
+	if t.kind != k {
+		p.fail(t.pos, "expected %s, got %s", tokName[k], tokName[t.kind])
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) ident() *Ident {
+	t := p.expect(tIdent)
+	return &Ident{exprBase: exprBase{P: t.pos}, Name: t.text}
+}
+
+// typeName parses int|float.
+func (p *parser) typeName() Type {
+	switch p.tok.kind {
+	case tKwInt:
+		p.next()
+		return TInt
+	case tKwFloat:
+		p.next()
+		return TFloat
+	}
+	p.fail(p.tok.pos, "expected a type (int or float), got %s", tokName[p.tok.kind])
+	return TInvalid
+}
+
+// paramDecl parses: param name = [-]int-literal ;
+func (p *parser) paramDecl() *ParamDecl {
+	pos := p.expect(tKwParam).pos
+	name := p.expect(tIdent)
+	p.expect(tAssign)
+	neg := false
+	if p.tok.kind == tMinus {
+		neg = true
+		p.next()
+	}
+	v := p.expect(tInt)
+	p.expect(tSemi)
+	val := v.ival
+	if neg {
+		val = -val
+	}
+	return &ParamDecl{P: pos, Name: name.text, Value: val}
+}
+
+// arrayDecl parses: array name [ expr ] type [= { expr, ... }] ;
+func (p *parser) arrayDecl() *ArrayDecl {
+	pos := p.expect(tKwArray).pos
+	name := p.expect(tIdent)
+	p.expect(tLBrack)
+	size := p.expr()
+	p.expect(tRBrack)
+	elem := p.typeName()
+	d := &ArrayDecl{P: pos, Name: name.text, Elem: elem, Size: size}
+	if p.tok.kind == tAssign {
+		p.next()
+		p.expect(tLBrace)
+		for p.tok.kind != tRBrace && p.err == nil {
+			d.Init = append(d.Init, p.expr())
+			if p.tok.kind != tComma {
+				break
+			}
+			p.next()
+		}
+		p.expect(tRBrace)
+	}
+	p.expect(tSemi)
+	return d
+}
+
+// varDecl parses a top-level global: var name type [= expr] ;
+func (p *parser) varDecl() *VarDecl {
+	pos := p.expect(tKwVar).pos
+	name := p.expect(tIdent)
+	t := p.typeName()
+	d := &VarDecl{P: pos, Name: name.text, T: t}
+	if p.tok.kind == tAssign {
+		p.next()
+		d.Init = p.expr()
+	}
+	p.expect(tSemi)
+	return d
+}
+
+// funcDecl parses: func name ( [ident type, ...] ) [type] block
+func (p *parser) funcDecl() *FuncDecl {
+	pos := p.expect(tKwFunc).pos
+	name := p.expect(tIdent)
+	p.expect(tLParen)
+	d := &FuncDecl{P: pos, Name: name.text, Ret: TVoid}
+	for p.tok.kind != tRParen && p.err == nil {
+		pn := p.expect(tIdent)
+		pt := p.typeName()
+		d.Params = append(d.Params, FuncParam{P: pn.pos, Name: pn.text, T: pt})
+		if p.tok.kind != tComma {
+			break
+		}
+		p.next()
+	}
+	p.expect(tRParen)
+	if p.tok.kind == tKwInt || p.tok.kind == tKwFloat {
+		d.Ret = p.typeName()
+	}
+	d.Body = p.block()
+	return d
+}
+
+// block parses { stmt* }.
+func (p *parser) block() []Stmt {
+	p.expect(tLBrace)
+	var stmts []Stmt
+	for p.tok.kind != tRBrace && p.tok.kind != tEOF && p.err == nil {
+		stmts = append(stmts, p.stmt())
+	}
+	p.expect(tRBrace)
+	return stmts
+}
+
+func (p *parser) stmt() Stmt {
+	switch p.tok.kind {
+	case tKwVar:
+		pos := p.tok.pos
+		p.next()
+		name := p.ident()
+		t := p.typeName()
+		s := &VarStmt{P: pos, Name: name, T: t}
+		if p.tok.kind == tAssign {
+			p.next()
+			s.Init = p.expr()
+		}
+		p.expect(tSemi)
+		return s
+	case tKwIf:
+		return p.ifStmt()
+	case tKwFor:
+		return p.forStmt()
+	case tKwReturn:
+		pos := p.tok.pos
+		p.next()
+		s := &ReturnStmt{P: pos}
+		if p.tok.kind != tSemi {
+			s.Value = p.expr()
+		}
+		p.expect(tSemi)
+		return s
+	case tIdent:
+		switch p.ahead.kind {
+		case tAssign:
+			s := p.assign()
+			p.expect(tSemi)
+			return s
+		case tLBrack:
+			name := p.ident()
+			p.expect(tLBrack)
+			idx := p.expr()
+			p.expect(tRBrack)
+			target := &IndexExpr{exprBase: exprBase{P: name.P}, Name: name, Index: idx}
+			p.expect(tAssign)
+			val := p.expr()
+			p.expect(tSemi)
+			return &StoreStmt{P: name.P, Target: target, Value: val}
+		case tLParen:
+			call := p.primary()
+			c, ok := call.(*CallExpr)
+			if !ok {
+				p.fail(call.Pos(), "expected a call statement")
+				return &ExprStmt{P: call.Pos()}
+			}
+			p.expect(tSemi)
+			return &ExprStmt{P: c.P, Call: c}
+		}
+		p.fail(p.ahead.pos, "expected =, [ or ( after identifier in statement position, got %s", tokName[p.ahead.kind])
+		return &ExprStmt{P: p.tok.pos}
+	}
+	p.fail(p.tok.pos, "expected a statement, got %s", tokName[p.tok.kind])
+	return &ExprStmt{P: p.tok.pos}
+}
+
+// assign parses ident = expr (no trailing semicolon).
+func (p *parser) assign() *AssignStmt {
+	name := p.ident()
+	p.expect(tAssign)
+	return &AssignStmt{P: name.P, LHS: name, Value: p.expr()}
+}
+
+func (p *parser) ifStmt() *IfStmt {
+	pos := p.expect(tKwIf).pos
+	s := &IfStmt{P: pos, Cond: p.expr()}
+	s.Then = p.block()
+	if p.tok.kind == tKwElse {
+		p.next()
+		if p.tok.kind == tKwIf {
+			s.Else = []Stmt{p.ifStmt()}
+		} else {
+			s.Else = p.block()
+		}
+	}
+	return s
+}
+
+// forStmt parses the counted form (for i = 0; i < n; i = i + 1 { })
+// or the while form (for cond { }). The two are distinguished by one
+// token of lookahead: a counted loop starts with `ident =`.
+func (p *parser) forStmt() *ForStmt {
+	pos := p.expect(tKwFor).pos
+	s := &ForStmt{P: pos}
+	if p.tok.kind == tIdent && p.ahead.kind == tAssign {
+		s.Init = p.assign()
+		p.expect(tSemi)
+		s.Cond = p.expr()
+		p.expect(tSemi)
+		s.Post = p.assign()
+	} else {
+		s.Cond = p.expr()
+	}
+	s.Body = p.block()
+	return s
+}
+
+// Binary operator precedence, loosest first:
+//
+//	1: ||
+//	2: &&
+//	3: == != < <= > >=
+//	4: + - | ^
+//	5: * / % << >> &
+var precOf = map[tokKind]int{
+	tOrOr: 1, tAndAnd: 2,
+	tEq: 3, tNe: 3, tLt: 3, tLe: 3, tGt: 3, tGe: 3,
+	tPlus: 4, tMinus: 4, tPipe: 4, tCaret: 4,
+	tStar: 5, tSlash: 5, tPercent: 5, tShl: 5, tShr: 5, tAmp: 5,
+}
+
+func (p *parser) expr() Expr { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) Expr {
+	x := p.unary()
+	for {
+		prec, ok := precOf[p.tok.kind]
+		if !ok || prec < minPrec {
+			return x
+		}
+		op := p.tok
+		p.next()
+		y := p.binary(prec + 1)
+		x = &BinaryExpr{exprBase: exprBase{P: op.pos}, Op: op.text, X: x, Y: y}
+	}
+}
+
+func (p *parser) unary() Expr {
+	switch p.tok.kind {
+	case tMinus:
+		pos := p.tok.pos
+		p.next()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: "-", X: p.unary()}
+	case tNot:
+		pos := p.tok.pos
+		p.next()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: "!", X: p.unary()}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() Expr {
+	switch p.tok.kind {
+	case tInt:
+		t := p.tok
+		p.next()
+		return &IntLit{exprBase: exprBase{P: t.pos}, V: t.ival}
+	case tFloat:
+		t := p.tok
+		p.next()
+		return &FloatLit{exprBase: exprBase{P: t.pos}, V: t.fval}
+	case tLParen:
+		p.next()
+		e := p.expr()
+		p.expect(tRParen)
+		return e
+	case tKwInt, tKwFloat:
+		// Conversion: int(expr) or float(expr).
+		to := TInt
+		if p.tok.kind == tKwFloat {
+			to = TFloat
+		}
+		pos := p.tok.pos
+		p.next()
+		p.expect(tLParen)
+		e := p.expr()
+		p.expect(tRParen)
+		return &ConvExpr{exprBase: exprBase{P: pos}, To: to, X: e}
+	case tIdent:
+		name := p.ident()
+		switch p.tok.kind {
+		case tLBrack:
+			p.next()
+			idx := p.expr()
+			p.expect(tRBrack)
+			return &IndexExpr{exprBase: exprBase{P: name.P}, Name: name, Index: idx}
+		case tLParen:
+			p.next()
+			c := &CallExpr{exprBase: exprBase{P: name.P}, Fn: name}
+			for p.tok.kind != tRParen && p.err == nil {
+				c.Args = append(c.Args, p.expr())
+				if p.tok.kind != tComma {
+					break
+				}
+				p.next()
+			}
+			p.expect(tRParen)
+			return c
+		}
+		return name
+	}
+	p.fail(p.tok.pos, "expected an expression, got %s", tokName[p.tok.kind])
+	return &IntLit{exprBase: exprBase{P: p.tok.pos}}
+}

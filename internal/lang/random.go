@@ -1,0 +1,130 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RandomSource generates a deterministic random program from a seed. The
+// output always parses, checks and terminates, so it can drive the
+// source-vs-interpreter differential oracle directly; the statement menu
+// is chosen to exercise every strategy tier (DOALL maps, reductions,
+// serial recurrences, data-dependent while loops, branchy bodies, nested
+// loops, and gather/scatter through masked and wrapped indices).
+func RandomSource(seed int64) string {
+	r := &srcRng{s: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	g := &srcGen{r: r}
+	return g.program()
+}
+
+// srcRng is a small deterministic generator (splitmix64), independent of
+// the standard library's stream so corpus seeds never shift meaning.
+type srcRng struct{ s uint64 }
+
+func (r *srcRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *srcRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rng returns a value in [lo, hi].
+func (r *srcRng) rng(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+type srcGen struct {
+	r    *srcRng
+	b    strings.Builder
+	uniq int // suffix for generated variable names
+}
+
+func (g *srcGen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *srcGen) program() string {
+	n := []int{16, 24, 32, 48, 64}[g.r.intn(5)]
+	g.pf("// generated program (deterministic from seed)\n")
+	g.pf("param n = %d;\n\n", n)
+
+	// Fixed shape: two int arrays sized n, two float arrays sized 64,
+	// one int and one float accumulator. Data varies by seed.
+	g.pf("array a[n] int = {%s};\n", g.intList(8, 50))
+	g.pf("array b[n] int = {%s};\n", g.intList(8, 30))
+	g.pf("array x[64] float = {%s};\n", g.floatList(6))
+	g.pf("array y[64] float;\n")
+	g.pf("var s int = %d;\n", g.r.intn(10))
+	g.pf("var acc float = 0.5;\n\n")
+
+	useHelper := g.r.intn(2) == 0
+	if useHelper {
+		g.pf("func mix(v int, w int) int {\n\treturn v * %d + (w ^ %d);\n}\n\n", g.r.rng(2, 5), g.r.intn(16))
+	}
+
+	g.pf("func main() {\n")
+	count := g.r.rng(2, 4)
+	for i := 0; i < count; i++ {
+		g.stmt(useHelper)
+	}
+	g.pf("}\n")
+	return g.b.String()
+}
+
+func (g *srcGen) intList(k, lim int) string {
+	parts := make([]string, k)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%d", g.r.intn(2*lim)-lim)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *srcGen) floatList(k int) string {
+	parts := make([]string, k)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%d.%d", g.r.intn(8), g.r.intn(100))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// stmt emits one top-level statement (usually a loop, which lowers to its
+// own region).
+func (g *srcGen) stmt(useHelper bool) {
+	c1 := g.r.rng(1, 9)
+	c2 := g.r.rng(1, 7)
+	menu := 9
+	switch g.r.intn(menu) {
+	case 0: // DOALL integer map (affine, in-bounds)
+		rhs := fmt.Sprintf("b[i] * %d + i", c1)
+		if useHelper && g.r.intn(2) == 0 {
+			rhs = fmt.Sprintf("mix(b[i], i + %d)", c2)
+		}
+		g.pf("\tfor i = 0; i < n; i = i + 1 {\n\t\ta[i] = %s;\n\t}\n", rhs)
+	case 1: // integer reduction into a global
+		g.pf("\tfor i = 0; i < n; i = i + 1 {\n\t\ts = s + a[i];\n\t}\n")
+	case 2: // DOALL float map with a conversion
+		g.pf("\tfor i = 0; i < 64; i = i + 1 {\n\t\ty[i] = x[i & 63] * %d.5 + float(i) * 0.25;\n\t}\n", g.r.intn(3))
+	case 3: // float dot-product reduction
+		g.pf("\tfor i = 0; i < 64; i = i + 1 {\n\t\tacc = acc + x[i] * y[i];\n\t}\n")
+	case 4: // branchy loop body
+		g.pf("\tfor i = 0; i < n; i = i + 1 {\n")
+		g.pf("\t\tif a[i] %% 2 == 0 {\n\t\t\ta[i] = a[i] + %d;\n\t\t} else {\n\t\t\ta[i] = a[i] - %d;\n\t\t}\n", c1, c2)
+		g.pf("\t}\n")
+	case 5: // serial recurrence (loop-carried through memory)
+		g.pf("\tfor i = 1; i < n; i = i + 1 {\n\t\ta[i] = a[i-1] + b[i];\n\t}\n")
+	case 6: // nested loops, affine 2-D indexing
+		g.pf("\tfor i = 0; i < 8; i = i + 1 {\n")
+		g.pf("\t\tfor j = 0; j < 8; j = j + 1 {\n\t\t\ty[i*8+j] = x[i*8+j] + float(i * j + %d);\n\t\t}\n", c2)
+		g.pf("\t}\n")
+	case 7: // data-dependent while loop with a bounded trip count
+		g.uniq++
+		u := g.uniq
+		g.pf("\tvar t%d int = (b[0] & 15) + %d;\n", u, c1)
+		g.pf("\tvar k%d int = 0;\n", u)
+		g.pf("\tfor k%d < t%d {\n\t\ts = s + k%d * %d;\n\t\tk%d = k%d + 1;\n\t}\n", u, u, u, c1, u, u)
+	case 8: // gather through a masked (data-dependent) index, plus wrap
+		g.pf("\tfor i = 0; i < n; i = i + 1 {\n\t\ta[i] = b[a[i] & 15] + a[i*%d+1];\n\t}\n", g.r.rng(2, 5))
+	}
+}

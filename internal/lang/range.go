@@ -1,0 +1,152 @@
+package lang
+
+import "math"
+
+// Index range analysis. Array accesses wrap modulo the array length (the
+// flat memory model traps on out-of-range addresses, so unchecked indices
+// cannot be lowered raw), but the wrap normalization costs three ops and —
+// worse — makes the address non-affine, hiding DOALL loops from the
+// dependence analyzer. This small interval analysis proves the common
+// cases (loop counters, masked and modulo-reduced indices) in bounds so
+// the lowerer can elide the wrap and keep a[i] affine.
+
+const (
+	minI64 = math.MinInt64
+	maxI64 = math.MaxInt64
+)
+
+// interval is an inclusive value range; known=false is "could be
+// anything".
+type interval struct {
+	lo, hi int64
+	known  bool
+}
+
+func point(v int64) interval { return interval{lo: v, hi: v, known: true} }
+
+// addChecked returns a+b, reporting overflow.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulChecked returns a*b, reporting overflow.
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == minI64) || (b == -1 && a == minI64) {
+		return 0, false
+	}
+	return p, true
+}
+
+func ivAdd(a, b interval) interval {
+	if !a.known || !b.known {
+		return interval{}
+	}
+	lo, ok1 := addChecked(a.lo, b.lo)
+	hi, ok2 := addChecked(a.hi, b.hi)
+	if !ok1 || !ok2 {
+		return interval{}
+	}
+	return interval{lo: lo, hi: hi, known: true}
+}
+
+func ivSub(a, b interval) interval {
+	if !b.known || b.lo == minI64 || b.hi == minI64 {
+		return interval{}
+	}
+	return ivAdd(a, interval{lo: -b.hi, hi: -b.lo, known: true})
+}
+
+func ivMul(a, b interval) interval {
+	if !a.known || !b.known {
+		return interval{}
+	}
+	lo, hi := int64(maxI64), int64(minI64)
+	for _, x := range []int64{a.lo, a.hi} {
+		for _, y := range []int64{b.lo, b.hi} {
+			p, ok := mulChecked(x, y)
+			if !ok {
+				return interval{}
+			}
+			lo, hi = min(lo, p), max(hi, p)
+		}
+	}
+	return interval{lo: lo, hi: hi, known: true}
+}
+
+func ivNeg(a interval) interval {
+	return ivSub(point(0), a)
+}
+
+// intervalOf derives the possible values of an integer expression. Only
+// canonical loop counters contribute variable facts (c.ivals); masks and
+// modulo bound any operand, known or not.
+func (c *checker) intervalOf(e Expr) interval {
+	if b := e.base(); b.Const {
+		return point(b.ConstVal)
+	}
+	switch e := e.(type) {
+	case *Ident:
+		if iv, ok := c.ivals[e.Sym]; ok {
+			return iv
+		}
+	case *UnaryExpr:
+		if e.Op == "-" {
+			return ivNeg(c.intervalOf(e.X))
+		}
+	case *ConvExpr:
+		if e.To == TInt && e.X.base().T == TInt {
+			return c.intervalOf(e.X)
+		}
+	case *BinaryExpr:
+		x := c.intervalOf(e.X)
+		y := c.intervalOf(e.Y)
+		switch e.Op {
+		case "+":
+			return ivAdd(x, y)
+		case "-":
+			return ivSub(x, y)
+		case "*":
+			return ivMul(x, y)
+		case "&":
+			// x & m with m >= 0 clears the sign bit: the result is in
+			// [0, m] whatever x is (and symmetrically).
+			if y.known && y.lo == y.hi && y.lo >= 0 {
+				return interval{lo: 0, hi: y.lo, known: true}
+			}
+			if x.known && x.lo == x.hi && x.lo >= 0 {
+				return interval{lo: 0, hi: x.lo, known: true}
+			}
+		case "%":
+			// x % n with constant n > 0 lands in (-n, n); in [0, n) when
+			// x is provably non-negative.
+			if y.known && y.lo == y.hi && y.lo > 0 {
+				n := y.lo
+				if x.known && x.lo >= 0 {
+					return interval{lo: 0, hi: min(x.hi, n-1), known: true}
+				}
+				return interval{lo: -(n - 1), hi: n - 1, known: true}
+			}
+		case "/":
+			if y.known && y.lo == y.hi && y.lo > 0 && x.known && x.lo >= 0 {
+				return interval{lo: x.lo / y.lo, hi: x.hi / y.lo, known: true}
+			}
+		case "<<":
+			if y.known && y.lo == y.hi && y.lo >= 0 && y.lo <= 62 {
+				return ivMul(x, point(int64(1)<<uint(y.lo)))
+			}
+		case ">>":
+			if y.known && y.lo == y.hi && y.lo >= 0 && y.lo <= 63 && x.known && x.lo >= 0 {
+				return interval{lo: x.lo >> uint(y.lo), hi: x.hi >> uint(y.lo), known: true}
+			}
+		}
+	}
+	return interval{}
+}

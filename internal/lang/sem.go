@@ -1,0 +1,50 @@
+package lang
+
+// Shared scalar semantics. The constant folder, the AST evaluator and the
+// lowered IR must be observably identical, so the single source of truth
+// for every integer operation lives here, mirroring interp.EvalOp:
+// two's-complement wraparound, division and remainder by zero yield zero
+// (the machine does not trap), and shift counts use only their low six
+// bits.
+
+// evalIntOp applies one integer binary operation with machine semantics.
+func evalIntOp(op string, a, b int64) int64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<<":
+		return a << (uint64(b) & 63)
+	case ">>":
+		return a >> (uint64(b) & 63)
+	}
+	panic("lang: not an int operator: " + op)
+}
+
+// wrapIndex normalizes an array index to [0, words): ((i % n) + n) % n,
+// the exact op sequence the lowerer emits when range analysis cannot
+// prove the index in bounds. For a power-of-two length this equals
+// i & (words-1), which the lowerer emits instead (one op, still exact).
+func wrapIndex(i, words int64) int64 {
+	m := i % words // words >= 1 always (checked at declaration)
+	return (m + words) % words
+}

@@ -90,9 +90,12 @@ func (a *admission) depthOf(c admClass) int {
 }
 
 // ShedResponse is the typed 429 body: which queue was full, how full, and
-// when to retry (the same value as the Retry-After header).
+// when to retry (the same value as the Retry-After header). Code is the
+// stable machine-readable identifier (always spec.ErrQueueFull), matching
+// the error model of every other failing endpoint.
 type ShedResponse struct {
 	SchemaVersion     int    `json:"schema_version"`
+	Code              string `json:"code"`
 	Error             string `json:"error"`
 	Class             string `json:"class"`
 	QueueDepth        int    `json:"queue_depth"`

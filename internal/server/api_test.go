@@ -54,25 +54,39 @@ func TestStrategiesEndpoint(t *testing.T) {
 }
 
 // TestDeprecatedFieldAliases: the pre-v1 names "benchmark" and "mode" still
-// decode (into bench/strategy), are flagged in X-Voltron-Deprecated, and
-// land on the same cache entry as the canonical spelling.
+// decode (into bench/strategy), are flagged in X-Voltron-Deprecated along
+// with the v1 top-level "bench" spelling itself, and land on the same cache
+// entry as the v2 program-union spelling.
 func TestDeprecatedFieldAliases(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, b := postJob(t, ts, `{"benchmark": "rawcaudio", "mode": "llp", "cores": 2}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
 	}
-	if dep := resp.Header.Get("X-Voltron-Deprecated"); dep != "benchmark, mode" {
-		t.Errorf("X-Voltron-Deprecated = %q, want %q", dep, "benchmark, mode")
+	if dep := resp.Header.Get("X-Voltron-Deprecated"); dep != "benchmark, mode, bench" {
+		t.Errorf("X-Voltron-Deprecated = %q, want %q", dep, "benchmark, mode, bench")
 	}
 	jr := decodeJob(t, b)
 	if jr.Bench != "rawcaudio" || jr.Strategy != "llp" {
 		t.Errorf("aliases decoded to bench=%q strategy=%q", jr.Bench, jr.Strategy)
 	}
 
-	// The canonical spelling of the same job must hit the alias's cache
-	// entry (aliases normalize away before hashing).
-	resp2, b2 := postJob(t, ts, `{"bench": "rawcaudio", "strategy": "llp", "cores": 2}`)
+	// The v1 top-level bench spelling still works, is flagged, and hits the
+	// alias's cache entry (all spellings normalize away before hashing).
+	resp1, b1 := postJob(t, ts, `{"bench": "rawcaudio", "strategy": "llp", "cores": 2}`)
+	if resp1.Header.Get("X-Voltron-Cache") != "hit" {
+		t.Errorf("v1 respelling missed the cache (status %q)", resp1.Header.Get("X-Voltron-Cache"))
+	}
+	if dep := resp1.Header.Get("X-Voltron-Deprecated"); dep != "bench" {
+		t.Errorf("X-Voltron-Deprecated = %q, want %q", dep, "bench")
+	}
+	if string(b) != string(b1) {
+		t.Errorf("alias and v1 bodies differ:\n%s\n%s", b, b1)
+	}
+
+	// The canonical v2 spelling of the same job also hits that entry and is
+	// not flagged.
+	resp2, b2 := postJob(t, ts, `{"program": {"kind": "bench", "bench": "rawcaudio"}, "strategy": "llp", "cores": 2}`)
 	if resp2.Header.Get("X-Voltron-Cache") != "hit" {
 		t.Errorf("canonical respelling missed the cache (status %q)", resp2.Header.Get("X-Voltron-Cache"))
 	}
@@ -80,7 +94,7 @@ func TestDeprecatedFieldAliases(t *testing.T) {
 		t.Errorf("canonical request flagged deprecated fields: %q", resp2.Header.Get("X-Voltron-Deprecated"))
 	}
 	if string(b) != string(b2) {
-		t.Errorf("alias and canonical bodies differ:\n%s\n%s", b, b2)
+		t.Errorf("v1 and v2 bodies differ:\n%s\n%s", b, b2)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"voltron/internal/core"
 	"voltron/internal/exp"
 	"voltron/internal/ir"
+	"voltron/internal/lang"
 	"voltron/internal/prof"
 	"voltron/internal/spec"
 	"voltron/internal/stats"
@@ -215,6 +216,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("GET /v1/traces/{key}", s.handleTrace)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	return mux
@@ -501,6 +503,96 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	w.Write(out.body)
 }
 
+// ValidateRegion is one region's entry in the validate response: the
+// static classifier's verdict for the region under the requested strategy
+// and core count.
+type ValidateRegion struct {
+	Name string `json:"name"`
+	// Tier is the classifier's verdict: small, doall, easy or hard.
+	Tier string `json:"tier"`
+	// Choice is the strategy the classifier would install for the region:
+	// "single core", "ILP", "fine-grain TLP" or "LLP".
+	Choice string `json:"choice"`
+	// Confidence is the relative margin of the winning estimate over the
+	// runner-up, in [0, 1].
+	Confidence float64 `json:"confidence"`
+}
+
+// ValidateResponse is the POST /v1/validate body: the program parsed,
+// type-checked, lowered and classified — nothing simulated.
+type ValidateResponse struct {
+	SchemaVersion int              `json:"schema_version"`
+	Program       string           `json:"program"`
+	Kind          string           `json:"kind"`
+	Strategy      string           `json:"strategy"`
+	Cores         int              `json:"cores"`
+	Regions       []ValidateRegion `json:"regions"`
+}
+
+// handleValidate checks a job without running it: the request decodes and
+// normalizes exactly like POST /v1/jobs (source programs parse and
+// type-check here, returning the frontend's positioned diagnostics on
+// failure), the program is lowered to IR, and the static classifier
+// reports the per-region plan the compiler would install. Nothing is
+// simulated and nothing enters the caches.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	req, deprecated, err := spec.DecodeJob(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(deprecated) > 0 {
+		w.Header().Set("X-Voltron-Deprecated", strings.Join(deprecated, ", "))
+	}
+	if err := req.Normalize(func(b string) bool {
+		_, err := s.suite.Program(b)
+		return err == nil
+	}); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		p  *ir.Program
+		pr *prof.Profile
+	)
+	if req.Program.Kind == spec.KindBench {
+		if p, err = s.suite.Program(req.Program.Bench); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if pr, err = s.suite.Profile(req.Program.Bench); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else if p, err = req.Program.Build(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := req.CompilerOpts()
+	opts.Profile = pr
+	cls, err := compiler.ClassifyProgram(p, opts)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := ValidateResponse{
+		SchemaVersion: spec.SchemaVersion,
+		Program:       p.Name,
+		Kind:          req.Program.Kind,
+		Strategy:      req.Strategy,
+		Cores:         req.Cores,
+	}
+	for i, c := range cls {
+		resp.Regions = append(resp.Regions, ValidateRegion{
+			Name:       p.Regions[i].Name,
+			Tier:       c.Tier.String(),
+			Choice:     c.Choice.String(),
+			Confidence: c.Confidence,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // writeShed answers a request the admission layer rejected: 429, a
 // Retry-After header, and the same estimate in a typed body.
 func (s *Server) writeShed(w http.ResponseWriter, class admClass, depth int) {
@@ -512,6 +604,7 @@ func (s *Server) writeShed(w http.ResponseWriter, class admClass, depth int) {
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	s.writeJSON(w, http.StatusTooManyRequests, ShedResponse{
 		SchemaVersion:     spec.SchemaVersion,
+		Code:              spec.ErrQueueFull,
 		Error:             fmt.Sprintf("%s queue full (%d admitted, limit %d); retry in %ds", class, depth, limit, secs),
 		Class:             class.String(),
 		QueueDepth:        depth,
@@ -603,7 +696,7 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 	resp := &JobResponse{
 		SchemaVersion: spec.SchemaVersion,
 		Key:           key,
-		Bench:         req.Bench,
+		Bench:         req.Program.Bench,
 		Strategy:      req.Strategy,
 		Cores:         req.Cores,
 		TotalCycles:   res.TotalCycles,
@@ -621,7 +714,7 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest, key string) (*JobR
 			Writebacks:    res.MemStats.Writebacks,
 		},
 	}
-	if req.Program != nil {
+	if req.Program.Kind != spec.KindBench {
 		resp.Program = req.Program.Name
 	}
 	for _, k := range stats.Kinds() {
@@ -683,11 +776,13 @@ func (s *Server) simulate(ctx context.Context, req *JobRequest) (*core.RunResult
 		pr  *prof.Profile
 		err error
 	)
-	if req.Bench != "" {
-		if p, err = s.suite.Program(req.Bench); err != nil {
+	if req.Program.Kind == spec.KindBench {
+		// Benchmarks are pre-built and pre-profiled by the suite; kernel and
+		// source programs materialize here (the compiler profiles them).
+		if p, err = s.suite.Program(req.Program.Bench); err != nil {
 			return nil, nil, cacheMiss, "", err
 		}
-		if pr, err = s.suite.Profile(req.Bench); err != nil {
+		if pr, err = s.suite.Profile(req.Program.Bench); err != nil {
 			return nil, nil, cacheMiss, "", err
 		}
 	} else if p, err = req.Program.Build(); err != nil {
@@ -825,6 +920,39 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// ErrorResponse is the typed error body every failing endpoint returns:
+// a stable machine-readable code, the human-readable message, and — for
+// source-program rejections — the frontend's positioned diagnostics.
+type ErrorResponse struct {
+	SchemaVersion int               `json:"schema_version"`
+	Code          string            `json:"code"`
+	Error         string            `json:"error"`
+	Diagnostics   []lang.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// writeError renders err as a typed ErrorResponse. A *spec.Error carries
+// its own stable code (and, for source programs, diagnostics); everything
+// else gets a code derived from the HTTP status so clients can always
+// switch on "code".
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	resp := ErrorResponse{SchemaVersion: spec.SchemaVersion, Error: err.Error()}
+	var se *spec.Error
+	if errors.As(err, &se) {
+		resp.Code = se.Code
+		resp.Diagnostics = se.Diagnostics
+	} else {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			resp.Code = spec.ErrTimeout
+		case errors.Is(err, context.Canceled):
+			resp.Code = spec.ErrCanceled
+		case status == http.StatusBadRequest:
+			resp.Code = spec.ErrBadRequest
+		case status == http.StatusNotFound:
+			resp.Code = spec.ErrNotFound
+		default:
+			resp.Code = spec.ErrInternal
+		}
+	}
+	s.writeJSON(w, status, resp)
 }

@@ -96,6 +96,56 @@ func TestCompileKeyIgnoresRunOnlyFields(t *testing.T) {
 	}
 }
 
+// TestProgramUnionKeyAlgebra pins which spellings of the program union are
+// deliberately the SAME job (one cache entry, byte-identical responses) and
+// which are deliberately DISTINCT. Every legacy spelling must land on its
+// v2 canonical form's key, or the cache fragments across API versions.
+func TestProgramUnionKeyAlgebra(t *testing.T) {
+	const src = "param n = 8;\nvar acc int = 0;\narray out[n] int;\nfunc main() {\n\tfor i = 0; i < n; i = i + 1 {\n\t\tout[i] = i * 3;\n\t\tacc = acc + i;\n\t}\n}\n"
+	equal := [][2]*JobRequest{
+		{ // v1 top-level bench == v2 bench-kind union
+			{Bench: "x"},
+			{Program: &ProgramSpec{Kind: KindBench, Bench: "x"}},
+		},
+		{ // kind-less v1 kernels == tagged v2 kernels
+			{Program: &ProgramSpec{Kernels: []KernelSpec{{Kind: "doall-map", N: 64}}}},
+			{Program: &ProgramSpec{Kind: KindKernels, Kernels: []KernelSpec{{Kind: "doall-map", N: 64}}}},
+		},
+		{ // an input spelled at its declared default == the input omitted
+			{Program: &ProgramSpec{Kind: KindSource, Source: src, Inputs: map[string]int64{"n": 8}}},
+			{Program: &ProgramSpec{Kind: KindSource, Source: src}},
+		},
+	}
+	for i, pair := range equal {
+		a, b := normalized(t, pair[0]), normalized(t, pair[1])
+		if a.Key() != b.Key() {
+			t.Errorf("equal[%d]: run keys differ", i)
+		}
+		if a.CompileKey() != b.CompileKey() {
+			t.Errorf("equal[%d]: compile keys differ", i)
+		}
+	}
+	distinct := []*JobRequest{
+		{Bench: "x"},
+		{Bench: "y"},
+		{Program: &ProgramSpec{Kind: KindKernels, Kernels: []KernelSpec{{Kind: "doall-map", N: 64}}}},
+		// Program kinds never collide even when their names would.
+		{Program: &ProgramSpec{Kind: KindSource, Name: "x", Source: src}},
+		// Source text is part of the identity...
+		{Program: &ProgramSpec{Kind: KindSource, Source: src + "// v2\n"}},
+		// ...and so is a non-default input.
+		{Program: &ProgramSpec{Kind: KindSource, Source: src, Inputs: map[string]int64{"n": 16}}},
+	}
+	seen := map[string]int{}
+	for i, r := range distinct {
+		k := normalized(t, r).Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("distinct[%d] and distinct[%d] share a run key", prev, i)
+		}
+		seen[k] = i
+	}
+}
+
 // TestRingKeyDerivation: the cluster shard key is the bare digest of the
 // run content address — stable, prefix-free, and shared between a job and
 // its trace blob (both are addressed by the job key), so a fleet places

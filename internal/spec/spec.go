@@ -1,10 +1,15 @@
-// Package spec defines the shared job specification of the v1 API surface:
-// what a compile-and-simulate job is (benchmark or inline program ×
-// strategy × machine), how it normalizes to a canonical form, and how that
-// form content-addresses results. The HTTP service decodes request bodies
-// into it and the CLIs build their flag sets from the same defaults, so
-// "strategy", "cores" and friends mean exactly the same thing on every
-// surface.
+// Package spec defines the shared job specification of the API surface:
+// what a compile-and-simulate job is (program × strategy × machine), how it
+// normalizes to a canonical form, and how that form content-addresses
+// results. The HTTP service decodes request bodies into it and the CLIs
+// build their flag sets from the same defaults, so "strategy", "cores" and
+// friends mean exactly the same thing on every surface.
+//
+// The v2 surface describes every program through one tagged union,
+// {"program": {"kind": "bench"|"kernels"|"source", ...}}; the v1 spellings
+// (top-level "bench", kind-less kernel programs) are still accepted,
+// normalize onto the union — so both spellings share one cache entry — and
+// are flagged for the deprecation response header.
 package spec
 
 import (
@@ -19,14 +24,63 @@ import (
 	"voltron/internal/compiler"
 	"voltron/internal/core"
 	"voltron/internal/ir"
+	"voltron/internal/lang"
 	"voltron/internal/trace"
 	"voltron/internal/workload"
 )
 
-// SchemaVersion is the version stamped into v1 job responses. It increments
-// only on breaking changes to the response shape; additive fields do not
-// bump it.
-const SchemaVersion = 1
+// SchemaVersion is the version stamped into job responses. It increments
+// only on breaking changes to the request or response shape; additive
+// fields do not bump it. Version 2 introduced the tagged program union and
+// typed error bodies; every v1 request form is still accepted.
+const SchemaVersion = 2
+
+// Stable error codes of the typed error model. Every non-2xx body carries
+// exactly one; clients branch on the code, never on the message text.
+const (
+	// ErrBadRequest: the body is not valid JSON for the request shape
+	// (syntax error, unknown field, wrong type).
+	ErrBadRequest = "bad_request"
+	// ErrBadSpec: well-formed JSON whose field values are invalid or
+	// inconsistent (out-of-range cores, conflicting program forms, bad
+	// kernel parameters).
+	ErrBadSpec = "bad_spec"
+	// ErrUnknownBench: the named benchmark does not exist.
+	ErrUnknownBench = "unknown_bench"
+	// ErrUnknownStrategy: the strategy or selection-mode name is not one
+	// of the documented set.
+	ErrUnknownStrategy = "unknown_strategy"
+	// ErrBadSource: a source program failed to parse, type-check or
+	// lower; the error body carries the structured diagnostics.
+	ErrBadSource = "bad_source"
+	// ErrQueueFull: the admission layer shed the request (429 bodies).
+	ErrQueueFull = "queue_full"
+	// ErrTimeout: the job exceeded the server's request budget.
+	ErrTimeout = "timeout"
+	// ErrCanceled: the client went away before the job finished.
+	ErrCanceled = "canceled"
+	// ErrNotFound: the addressed resource (trace, figure) is not here.
+	ErrNotFound = "not_found"
+	// ErrInternal: the job failed for a reason that is not the client's.
+	ErrInternal = "internal"
+)
+
+// Error is the typed failure of request validation: a stable code, a
+// human-readable message, and — for source programs — the frontend's
+// structured diagnostics. It is the error model of every API surface;
+// the HTTP layer renders it directly into error bodies.
+type Error struct {
+	Code        string            `json:"code"`
+	Message     string            `json:"error"`
+	Diagnostics []lang.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// errf builds a typed error with a formatted message.
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
 
 // Shared defaults across the CLIs and the service.
 const (
@@ -41,16 +95,17 @@ const (
 	MaxCores = 64
 )
 
-// JobRequest describes one compile-and-simulate job: a program (by
-// benchmark name or inline spec), a parallelization strategy, a machine,
-// and optional compiler/machine overrides. The zero value of every
-// optional field means "the paper's default".
+// JobRequest describes one compile-and-simulate job: a program (the tagged
+// union), a parallelization strategy, a machine, and optional
+// compiler/machine overrides. The zero value of every optional field means
+// "the paper's default".
 type JobRequest struct {
-	// Bench names a built-in benchmark (see GET /v1/benchmarks).
-	// Exactly one of Bench and Program must be set.
+	// Bench is the deprecated v1 spelling of Program{Kind: "bench"}.
+	// Normalize folds it into the union, so both spellings share one
+	// canonical form and one cache entry.
 	Bench string `json:"bench,omitempty"`
-	// Program is an inline program: a named composition of the workload
-	// package's kernel generators.
+	// Program is what to compile and simulate: a benchmark reference, an
+	// inline kernel composition, or a source-language program.
 	Program *ProgramSpec `json:"program,omitempty"`
 	// Strategy is serial|ilp|ftlp|llp|hybrid. Defaults to hybrid.
 	Strategy string `json:"strategy,omitempty"`
@@ -104,10 +159,37 @@ type MachineOptions struct {
 	MeshCols int `json:"mesh_cols,omitempty"`
 }
 
-// ProgramSpec is an inline program.
+// Program kinds of the tagged union.
+const (
+	// KindBench references a built-in benchmark by name.
+	KindBench = "bench"
+	// KindKernels composes the workload package's kernel generators.
+	KindKernels = "kernels"
+	// KindSource is a program in the source language (see internal/lang),
+	// compiled by the frontend before strategy selection.
+	KindSource = "source"
+)
+
+// ProgramSpec is the tagged program union: exactly the fields of one kind
+// may be set. A spec with no kind and kernels present is the deprecated v1
+// kernel-program form; Normalize infers KindKernels and flags it.
 type ProgramSpec struct {
-	Name    string       `json:"name"`
-	Kernels []KernelSpec `json:"kernels"`
+	// Kind discriminates the union: bench|kernels|source.
+	Kind string `json:"kind,omitempty"`
+	// Bench names a built-in benchmark (kind "bench"; see GET
+	// /v1/benchmarks).
+	Bench string `json:"bench,omitempty"`
+	// Name names a kernels or source program (regions and arrays are
+	// prefixed with it). Defaults to "inline".
+	Name string `json:"name,omitempty"`
+	// Kernels composes kernel generators (kind "kernels").
+	Kernels []KernelSpec `json:"kernels,omitempty"`
+	// Source is the program text (kind "source").
+	Source string `json:"source,omitempty"`
+	// Inputs override source-program parameter defaults by name.
+	// Normalize prunes entries equal to the declared default, so spelled
+	// and omitted defaults content-address identically.
+	Inputs map[string]int64 `json:"inputs,omitempty"`
 }
 
 // KernelSpec is one region-generating kernel invocation. Unused parameters
@@ -200,33 +282,40 @@ func defInt(v *int, def int) {
 
 // Normalize validates the request and fills every defaultable field in
 // place, so that two requests meaning the same job marshal to the same
-// canonical bytes. known reports whether a benchmark name exists.
+// canonical bytes. The deprecated v1 spellings — a top-level bench name, a
+// kind-less kernel program — are folded onto the tagged union here, so
+// every downstream stage (keys, caches, the simulate pipeline) sees one
+// form. known reports whether a benchmark name exists. Errors are *Error
+// with a stable code.
 func (r *JobRequest) Normalize(known func(bench string) bool) error {
-	if (r.Bench == "") == (r.Program == nil) {
-		return fmt.Errorf("exactly one of bench and program must be set")
-	}
-	if r.Bench != "" && !known(r.Bench) {
-		return fmt.Errorf("unknown benchmark %q", r.Bench)
-	}
-	if r.Program != nil {
-		if err := r.Program.normalize(); err != nil {
-			return err
+	if r.Bench != "" {
+		// v1 spelling: fold into the union so both content-address alike.
+		if r.Program != nil {
+			return errf(ErrBadSpec, "bench and program are mutually exclusive (put the benchmark inside the program union)")
 		}
+		r.Program = &ProgramSpec{Kind: KindBench, Bench: r.Bench}
+		r.Bench = ""
+	}
+	if r.Program == nil {
+		return errf(ErrBadSpec, "a program is required")
+	}
+	if err := r.Program.normalize(known); err != nil {
+		return err
 	}
 	if r.Strategy == "" {
 		r.Strategy = DefaultStrategy
 	}
 	if _, ok := StrategyFor(r.Strategy); !ok {
-		return fmt.Errorf("unknown strategy %q (want %s)", r.Strategy, strategyNames())
+		return errf(ErrUnknownStrategy, "unknown strategy %q (want %s)", r.Strategy, strategyNames())
 	}
 	if r.Cores == 0 {
 		r.Cores = DefaultCores
 	}
 	if r.Cores < 1 || r.Cores > MaxCores {
-		return fmt.Errorf("cores = %d out of range [1, %d]", r.Cores, MaxCores)
+		return errf(ErrBadSpec, "cores = %d out of range [1, %d]", r.Cores, MaxCores)
 	}
 	if mc := r.Machine.MeshCols; mc != 0 && (mc < 4 || mc > r.Cores) {
-		return fmt.Errorf("mesh_cols = %d out of range (0 for the near-square default, or [4, cores])", mc)
+		return errf(ErrBadSpec, "mesh_cols = %d out of range (0 for the near-square default, or [4, cores])", mc)
 	}
 	if r.Compiler.StaticSelection {
 		// Deprecated alias: fold into the canonical field so both spellings
@@ -240,10 +329,10 @@ func (r *JobRequest) Normalize(known func(bench string) bool) error {
 		r.Compiler.Select = DefaultSelect
 	}
 	if _, ok := SelectionFor(r.Compiler.Select); !ok {
-		return fmt.Errorf("unknown selection mode %q (want %s)", r.Compiler.Select, selectNames())
+		return errf(ErrUnknownStrategy, "unknown selection mode %q (want %s)", r.Compiler.Select, selectNames())
 	}
 	if r.Compiler.SelectThreshold > 1 {
-		return fmt.Errorf("select_threshold = %v out of range (confidence is in [0, 1]; negative disables the gate)",
+		return errf(ErrBadSpec, "select_threshold = %v out of range (confidence is in [0, 1]; negative disables the gate)",
 			r.Compiler.SelectThreshold)
 	}
 	if r.Compiler.SelectThreshold < 0 {
@@ -252,58 +341,146 @@ func (r *JobRequest) Normalize(known func(bench string) bool) error {
 	return nil
 }
 
-func (p *ProgramSpec) normalize() error {
+// normalize canonicalizes one program union member and validates it as far
+// as the frontend can without simulating (source programs parse, type-check
+// and constant-fold here).
+func (p *ProgramSpec) normalize(known func(bench string) bool) error {
+	if p.Kind == "" {
+		// v1 kernel programs had no kind; infer it so the legacy spelling
+		// and the tagged spelling share one canonical form. DecodeJob flags
+		// the omission for the deprecation header.
+		if len(p.Kernels) == 0 && p.Source == "" && p.Bench == "" {
+			return errf(ErrBadSpec, `program.kind is required (one of "bench", "kernels", "source")`)
+		}
+		switch {
+		case len(p.Kernels) > 0:
+			p.Kind = KindKernels
+		case p.Source != "":
+			p.Kind = KindSource
+		default:
+			p.Kind = KindBench
+		}
+	}
+	if len(p.Name) > 64 {
+		return errf(ErrBadSpec, "program name must be at most 64 characters")
+	}
+	switch p.Kind {
+	case KindBench:
+		if p.Bench == "" {
+			return errf(ErrBadSpec, `a "bench" program needs the benchmark name in "bench"`)
+		}
+		if p.Name != "" || len(p.Kernels) > 0 || p.Source != "" || len(p.Inputs) > 0 {
+			return errf(ErrBadSpec, `a "bench" program carries only the benchmark name`)
+		}
+		if !known(p.Bench) {
+			return errf(ErrUnknownBench, "unknown benchmark %q", p.Bench)
+		}
+		return nil
+	case KindKernels:
+		if p.Bench != "" || p.Source != "" || len(p.Inputs) > 0 {
+			return errf(ErrBadSpec, `a "kernels" program carries only name and kernels`)
+		}
+		return p.normalizeKernels()
+	case KindSource:
+		if p.Bench != "" || len(p.Kernels) > 0 {
+			return errf(ErrBadSpec, `a "source" program carries only name, source and inputs`)
+		}
+		if p.Name == "" {
+			p.Name = "inline"
+		}
+		return p.normalizeSource()
+	}
+	return errf(ErrBadSpec, `unknown program kind %q (want "bench", "kernels" or "source")`, p.Kind)
+}
+
+func (p *ProgramSpec) normalizeKernels() error {
 	if p.Name == "" {
 		p.Name = "inline"
 	}
-	if len(p.Name) > 64 {
-		return fmt.Errorf("program name must be at most 64 characters")
-	}
 	if len(p.Kernels) == 0 || len(p.Kernels) > maxKernels {
-		return fmt.Errorf("program must have 1..%d kernels", maxKernels)
+		return errf(ErrBadSpec, "program must have 1..%d kernels", maxKernels)
 	}
 	names := map[string]bool{}
 	for i := range p.Kernels {
 		k := &p.Kernels[i]
 		kind, ok := kernelKinds[k.Kind]
 		if !ok {
-			return fmt.Errorf("kernel %d: unknown kind %q", i, k.Kind)
+			return errf(ErrBadSpec, "kernel %d: unknown kind %q", i, k.Kind)
 		}
 		if k.Name == "" {
 			k.Name = fmt.Sprintf("k%d", i)
 		}
 		if len(k.Name) > 64 {
-			return fmt.Errorf("kernel %d: name must be at most 64 characters", i)
+			return errf(ErrBadSpec, "kernel %d: name must be at most 64 characters", i)
 		}
 		if names[k.Name] {
-			return fmt.Errorf("kernel %d: duplicate name %q", i, k.Name)
+			return errf(ErrBadSpec, "kernel %d: duplicate name %q", i, k.Name)
 		}
 		names[k.Name] = true
 		kind.norm(k)
 		for _, v := range []int64{k.N, k.Table, k.Steps, k.Diverge} {
 			if v < 0 || v > maxElems {
-				return fmt.Errorf("kernel %q: size parameter %d out of range [0, %d]", k.Name, v, maxElems)
+				return errf(ErrBadSpec, "kernel %q: size parameter %d out of range [0, %d]", k.Name, v, maxElems)
 			}
 		}
 		for _, v := range []int{k.Work, k.Chains, k.Depth, k.Lanes, k.Levels} {
 			if v < 0 || v > maxWorkParam {
-				return fmt.Errorf("kernel %q: work parameter %d out of range [0, %d]", k.Name, v, maxWorkParam)
+				return errf(ErrBadSpec, "kernel %q: work parameter %d out of range [0, %d]", k.Name, v, maxWorkParam)
 			}
 		}
 	}
 	return nil
 }
 
-// Build materializes the (normalized) spec as an IR program.
+// normalizeSource runs the language frontend (parse, type-check, bounds)
+// over the program text, turning its diagnostics into the typed error, and
+// prunes inputs that restate a parameter's declared default so spelled and
+// omitted defaults share one canonical form (and one cache entry).
+func (p *ProgramSpec) normalizeSource() error {
+	lp, err := lang.Frontend(p.Source, p.Inputs)
+	if err != nil {
+		if le, ok := err.(*lang.Error); ok {
+			return &Error{Code: ErrBadSource, Message: le.Error(), Diagnostics: le.Diags}
+		}
+		return errf(ErrBadSource, "%v", err)
+	}
+	defaults := lp.Defaults()
+	for name, v := range p.Inputs {
+		if def, ok := defaults[name]; ok && def == v {
+			delete(p.Inputs, name)
+		}
+	}
+	if len(p.Inputs) == 0 {
+		p.Inputs = nil
+	}
+	return nil
+}
+
+// Build materializes a normalized kernels or source spec as an IR program.
+// Bench programs resolve through the server's suite instead (they are
+// pre-built and pre-profiled there), so Build rejects them.
 func (p *ProgramSpec) Build() (*ir.Program, error) {
-	prog := ir.NewProgram(p.Name)
-	for _, k := range p.Kernels {
-		kernelKinds[k.Kind].gen(prog, k)
+	switch p.Kind {
+	case KindSource:
+		prog, err := lang.Compile(p.Source, p.Name, p.Inputs)
+		if err != nil {
+			if le, ok := err.(*lang.Error); ok {
+				return nil, &Error{Code: ErrBadSource, Message: le.Error(), Diagnostics: le.Diags}
+			}
+			return nil, errf(ErrBadSource, "%v", err)
+		}
+		return prog, nil
+	case KindKernels, "":
+		prog := ir.NewProgram(p.Name)
+		for _, k := range p.Kernels {
+			kernelKinds[k.Kind].gen(prog, k)
+		}
+		if err := prog.Verify(); err != nil {
+			return nil, fmt.Errorf("program %q: %w", p.Name, err)
+		}
+		return prog, nil
 	}
-	if err := prog.Verify(); err != nil {
-		return nil, fmt.Errorf("program %q: %w", p.Name, err)
-	}
-	return prog, nil
+	return nil, fmt.Errorf("program kind %q does not build inline", p.Kind)
 }
 
 // Key derives the job's content address: the SHA-256 of its canonical JSON
@@ -335,12 +512,12 @@ func RingKeyOf(contentKey string) string {
 func (r *JobRequest) RingKey() string { return RingKeyOf(r.Key()) }
 
 // compileIdentity is the slice of a job that determines the compiled
-// artifact: what to compile (benchmark or inline program), how (strategy
+// artifact: what to compile (the normalized program union — Normalize has
+// already folded the deprecated top-level bench into it), how (strategy
 // and compiler gates) and for how many cores. Machine latencies, the trace
 // flag and the baseline flag cannot change compiler output, so they are
 // deliberately absent — jobs differing only in those share one artifact.
 type compileIdentity struct {
-	Bench    string          `json:"bench,omitempty"`
 	Program  *ProgramSpec    `json:"program,omitempty"`
 	Strategy string          `json:"strategy"`
 	Cores    int             `json:"cores"`
@@ -356,7 +533,6 @@ type compileIdentity struct {
 // trace, baseline and machine options).
 func (r *JobRequest) CompileKey() string {
 	b, err := json.Marshal(compileIdentity{
-		Bench:    r.Bench,
 		Program:  r.Program,
 		Strategy: r.Strategy,
 		Cores:    r.Cores,
@@ -431,9 +607,13 @@ type jobAliases struct {
 }
 
 // DecodeJob decodes one JSON job request, accepting (but flagging) the
-// deprecated field aliases "benchmark" (for "bench") and "mode" (for
-// "strategy"). Unknown fields are rejected. The returned slice names the
-// deprecated fields the request used, for a deprecation response header.
+// deprecated spellings: the field aliases "benchmark" (for "bench") and
+// "mode" (for "strategy"), the v1 top-level "bench" (now the bench-kind
+// member of the program union), and a kind-less kernel program (v1 had no
+// tag). Unknown fields are rejected. The returned slice names the
+// deprecated spellings the request used, for a deprecation response header;
+// Normalize canonicalizes them away so every spelling shares one content
+// address.
 func DecodeJob(r io.Reader) (*JobRequest, []string, error) {
 	var in jobAliases
 	dec := json.NewDecoder(r)
@@ -454,12 +634,21 @@ func DecodeJob(r io.Reader) (*JobRequest, []string, error) {
 			in.Strategy = in.Mode
 		}
 	}
+	if in.Bench != "" {
+		deprecated = append(deprecated, "bench")
+	}
+	if in.Program != nil && in.Program.Kind == "" {
+		deprecated = append(deprecated, "program.kind")
+	}
 	req := in.JobRequest
 	return &req, deprecated, nil
 }
 
-// StrategyInfo describes one parallelization strategy of the v1 surface.
+// StrategyInfo describes one parallelization strategy of the API surface.
 type StrategyInfo struct {
+	// Code is the stable machine-readable identifier clients key on; it
+	// doubles as the wire value for the job request's "strategy" field.
+	Code        string `json:"code"`
 	Name        string `json:"name"`
 	Description string `json:"description"`
 	// Mode is the execution mode the strategy's regions run in: coupled,
@@ -473,11 +662,11 @@ var strategyTable = []struct {
 	info StrategyInfo
 	s    compiler.Strategy
 }{
-	{StrategyInfo{"serial", "single-core serial schedule (the speedup baseline)", "coupled"}, compiler.Serial},
-	{StrategyInfo{"ilp", "force coupled ILP: VLIW-style scheduling across cores in lock-step", "coupled"}, compiler.ForceILP},
-	{StrategyInfo{"ftlp", "force fine-grain TLP: DSWP pipelines over the decoupled queues", "decoupled"}, compiler.ForceFTLP},
-	{StrategyInfo{"llp", "force loop-level parallelism: DOALL chunks under transactional memory", "decoupled"}, compiler.ForceLLP},
-	{StrategyInfo{"hybrid", "per-region measured selection among the above (the paper's result)", "mixed"}, compiler.Hybrid},
+	{StrategyInfo{"serial", "serial", "single-core serial schedule (the speedup baseline)", "coupled"}, compiler.Serial},
+	{StrategyInfo{"ilp", "ilp", "force coupled ILP: VLIW-style scheduling across cores in lock-step", "coupled"}, compiler.ForceILP},
+	{StrategyInfo{"ftlp", "ftlp", "force fine-grain TLP: DSWP pipelines over the decoupled queues", "decoupled"}, compiler.ForceFTLP},
+	{StrategyInfo{"llp", "llp", "force loop-level parallelism: DOALL chunks under transactional memory", "decoupled"}, compiler.ForceLLP},
+	{StrategyInfo{"hybrid", "hybrid", "per-region measured selection among the above (the paper's result)", "mixed"}, compiler.Hybrid},
 }
 
 // Strategies lists the v1 strategies in documentation order.

@@ -11,9 +11,11 @@ func TestDecodeJobAliases(t *testing.T) {
 		wantBench, wantStrategy string
 		wantDeprecated          string
 	}{
-		{"canonical", `{"bench": "a", "strategy": "llp"}`, "a", "llp", ""},
-		{"aliases", `{"benchmark": "a", "mode": "llp"}`, "a", "llp", "benchmark,mode"},
-		{"canonical wins", `{"bench": "a", "benchmark": "b", "strategy": "llp", "mode": "ilp"}`, "a", "llp", "benchmark,mode"},
+		{"v1 bench", `{"bench": "a", "strategy": "llp"}`, "a", "llp", "bench"},
+		{"aliases", `{"benchmark": "a", "mode": "llp"}`, "a", "llp", "benchmark,mode,bench"},
+		{"canonical wins", `{"bench": "a", "benchmark": "b", "strategy": "llp", "mode": "ilp"}`, "a", "llp", "benchmark,mode,bench"},
+		{"v2 union", `{"program": {"kind": "bench", "bench": "a"}, "strategy": "llp"}`, "", "llp", ""},
+		{"kind-less program", `{"program": {"kernels": [{"kind": "doall-map"}]}, "strategy": "llp"}`, "", "llp", "program.kind"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			req, dep, err := DecodeJob(strings.NewReader(tc.body))
